@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Ablation: interconnect pipelining on/off (paper section 4.6 — the
+ * coupling of floorplanning *with* pipelining is the core frequency
+ * claim, so this bench isolates the pipelining half).
+ */
+
+#include <cstdio>
+
+#include "apps/cnn.hh"
+#include "apps/knn.hh"
+#include "apps/pagerank.hh"
+#include "apps/stencil.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace tapacs;
+using namespace tapacs::bench;
+
+namespace
+{
+
+void
+runOne(TextTable &t, const char *name, apps::AppDesign &app, int fpgas)
+{
+    Cluster cluster = makePaperTestbed(std::max(1, fpgas));
+    CompileOptions with_opt;
+    with_opt.mode = fpgas > 1 ? CompileMode::TapaCs
+                              : CompileMode::TapaSingle;
+    with_opt.numFpgas = fpgas;
+    CompileOptions without_opt = with_opt;
+    without_opt.pipeline.stagesPerCrossing = 0;
+    without_opt.pipeline.balanceReconvergent = false;
+
+    apps::AppDesign copy = app;
+    CompileResult with_p =
+        compileProgram(app.graph, app.tasks, cluster, with_opt);
+    CompileResult without_p =
+        compileProgram(copy.graph, copy.tasks, cluster, without_opt);
+    if (!with_p.routable || !without_p.routable) {
+        t.addRow({name, strprintf("%d", fpgas), "-", "-", "-"});
+        return;
+    }
+    t.addRow({name, strprintf("%d", fpgas),
+              strprintf("%.0f MHz", without_p.fmax / 1e6),
+              strprintf("%.0f MHz", with_p.fmax / 1e6),
+              strprintf("%+.0f%%",
+                        (with_p.fmax / without_p.fmax - 1.0) * 100)});
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Ablation: interconnect pipelining off vs on "
+                "===\n\n");
+    TextTable t({"Benchmark", "FPGAs", "Fmax (no pipelining)",
+                 "Fmax (pipelined)", "Gain"});
+    apps::AppDesign s1 =
+        apps::buildStencil(apps::StencilConfig::scaled(64, 1));
+    runOne(t, "Stencil F1", s1, 1);
+    apps::AppDesign s4 =
+        apps::buildStencil(apps::StencilConfig::scaled(64, 4));
+    runOne(t, "Stencil F4", s4, 4);
+    apps::AppDesign pr = apps::buildPageRank(apps::PageRankConfig::scaled(
+        apps::pagerankDataset("web-Google"), 2));
+    runOne(t, "PageRank F2", pr, 2);
+    apps::AppDesign knn =
+        apps::buildKnn(apps::KnnConfig::scaled(4'000'000, 2, 2));
+    runOne(t, "KNN F2", knn, 2);
+    apps::AppDesign cnn = apps::buildCnn(apps::CnnConfig::scaled(2));
+    runOne(t, "CNN F2", cnn, 2);
+    t.print();
+    std::printf("\nconservatively registering every slot crossing is "
+                "what keeps long wires off the critical path (paper "
+                "section 4.6).\n");
+    return 0;
+}

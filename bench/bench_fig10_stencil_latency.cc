@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces paper Figure 10: stencil latency of F1-V, F1-T and
+ * TAPA-CS on 2-4 FPGAs across 64-512 iterations. The paper's shape:
+ * multi-FPGA gains are largest at few iterations (4.9x at 64) and
+ * shrink as transfer volumes grow (2.3x at 512).
+ */
+
+#include <cstdio>
+
+#include "apps/stencil.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace tapacs;
+using namespace tapacs::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 10: stencil latency, 4096x4096, 64-512 "
+                "iterations ===\n\n");
+
+    TextTable t({"Iters", "F1-V", "F1-T", "F2", "F3", "F4",
+                 "F4 speedup (model/paper)"});
+    const double paper_f4[] = {4.9, 0.0, 0.0, 2.3};
+    int idx = 0;
+    for (int iters : {64, 128, 256, 512}) {
+        apps::AppDesign base =
+            apps::buildStencil(apps::StencilConfig::scaled(iters, 1));
+        RunOutcome f1v = runApp(base, CompileMode::VitisBaseline, 1);
+        RunOutcome f1t = runApp(base, CompileMode::TapaSingle, 1);
+        RunOutcome multi[3];
+        for (int f = 2; f <= 4; ++f) {
+            apps::AppDesign app =
+                apps::buildStencil(apps::StencilConfig::scaled(iters, f));
+            multi[f - 2] = runApp(app, CompileMode::TapaCs, f);
+        }
+        const double f4_speedup = f1v.latency / multi[2].latency;
+        t.addRow({strprintf("%d", iters), latencyStr(f1v.latency),
+                  latencyStr(f1t.latency), latencyStr(multi[0].latency),
+                  latencyStr(multi[1].latency),
+                  latencyStr(multi[2].latency),
+                  paper_f4[idx] > 0.0
+                      ? strprintf("%.1fx / %.1fx", f4_speedup,
+                                  paper_f4[idx])
+                      : strprintf("%.1fx / -", f4_speedup)});
+        ++idx;
+    }
+    t.print();
+    std::printf("\npaper: 64 iters -> 4.9x on 4 FPGAs; 512 iters -> "
+                "2.3x (sequential FPGAs + large transfers)\n");
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Reproduces paper Figure 11: stencil resource utilization of the
+ * single-FPGA baseline (F1-T) and each FPGA of the 4-FPGA design
+ * (F4-1 .. F4-4).
+ */
+
+#include "apps/stencil.hh"
+#include "bench/bench_util.hh"
+
+using namespace tapacs;
+using namespace tapacs::bench;
+
+int
+main()
+{
+    apps::AppDesign f1 =
+        apps::buildStencil(apps::StencilConfig::scaled(64, 1));
+    apps::AppDesign f4 =
+        apps::buildStencil(apps::StencilConfig::scaled(64, 4));
+    printResourceUtilization(
+        "=== Figure 11: stencil resource utilization (64 iters) ===",
+        f1, f4);
+    return 0;
+}

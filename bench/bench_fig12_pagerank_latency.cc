@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Reproduces paper Figure 12: PageRank latency of F1-V, F1-T and
+ * TAPA-CS on 2-4 FPGAs across the five Table-5 networks. The paper's
+ * shape: every dataset benefits superlinearly (2.64x / 4.28x / 5.98x
+ * average) because the inter-FPGA volume is PE-count independent and
+ * all PEs run in parallel once the router starts.
+ */
+
+#include <cstdio>
+
+#include "apps/pagerank.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace tapacs;
+using namespace tapacs::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 12: PageRank latency across datasets "
+                "===\n\n");
+
+    TextTable t({"Network", "F1-V", "F1-T", "F2", "F3", "F4",
+                 "Speedups T/2/3/4"});
+    double sums[4] = {0, 0, 0, 0};
+    int count = 0;
+    for (const auto &ds : apps::pagerankDatasets()) {
+        apps::AppDesign base =
+            apps::buildPageRank(apps::PageRankConfig::scaled(ds, 1));
+        RunOutcome f1v = runApp(base, CompileMode::VitisBaseline, 1);
+        RunOutcome f1t = runApp(base, CompileMode::TapaSingle, 1);
+        RunOutcome multi[3];
+        for (int f = 2; f <= 4; ++f) {
+            apps::AppDesign app =
+                apps::buildPageRank(apps::PageRankConfig::scaled(ds, f));
+            multi[f - 2] = runApp(app, CompileMode::TapaCs, f);
+        }
+        const double st = f1v.latency / f1t.latency;
+        const double s2 = f1v.latency / multi[0].latency;
+        const double s3 = f1v.latency / multi[1].latency;
+        const double s4 = f1v.latency / multi[2].latency;
+        sums[0] += st;
+        sums[1] += s2;
+        sums[2] += s3;
+        sums[3] += s4;
+        ++count;
+        t.addRow({ds.name, latencyStr(f1v.latency),
+                  latencyStr(f1t.latency), latencyStr(multi[0].latency),
+                  latencyStr(multi[1].latency),
+                  latencyStr(multi[2].latency),
+                  strprintf("%.2f/%.2f/%.2f/%.2f", st, s2, s3, s4)});
+    }
+    t.addSeparator();
+    t.addRow({"Average (model)", "-", "-", "-", "-", "-",
+              strprintf("%.2f/%.2f/%.2f/%.2f", sums[0] / count,
+                        sums[1] / count, sums[2] / count,
+                        sums[3] / count)});
+    t.addRow({"Average (paper)", "-", "-", "-", "-", "-",
+              "1.54/2.64/4.28/5.98"});
+    t.print();
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Reproduces paper Figure 13: PageRank resource utilization of the
+ * single-FPGA baseline (F1-T) and each FPGA of the 4-FPGA design.
+ */
+
+#include "apps/pagerank.hh"
+#include "bench/bench_util.hh"
+
+using namespace tapacs;
+using namespace tapacs::bench;
+
+int
+main()
+{
+    const apps::GraphDataset &ds = apps::pagerankDataset("cit-Patents");
+    apps::AppDesign f1 =
+        apps::buildPageRank(apps::PageRankConfig::scaled(ds, 1));
+    apps::AppDesign f4 =
+        apps::buildPageRank(apps::PageRankConfig::scaled(ds, 4));
+    printResourceUtilization(
+        "=== Figure 13: PageRank resource utilization (cit-Patents) ===",
+        f1, f4);
+    return 0;
+}

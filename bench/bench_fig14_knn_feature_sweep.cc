@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Reproduces paper Figure 14: KNN speed-up of F1-T and TAPA-CS
+ * (F2-F4) over the Vitis baseline for K=10, N=4M, over feature
+ * dimensions 2-128. Paper averages: 2x / 2.7x / 3.9x for F2/F3/F4.
+ */
+
+#include <cstdio>
+
+#include "apps/knn.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace tapacs;
+using namespace tapacs::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 14: KNN speed-up vs feature dimension "
+                "(N=4M, K=10) ===\n\n");
+
+    TextTable t({"D", "F1-T", "F2", "F3", "F4"});
+    double sums[4] = {0, 0, 0, 0};
+    int count = 0;
+    for (int d : {2, 4, 8, 16, 32, 64, 128}) {
+        apps::AppDesign base =
+            apps::buildKnn(apps::KnnConfig::scaled(4'000'000, d, 1));
+        RunOutcome f1v = runApp(base, CompileMode::VitisBaseline, 1);
+        RunOutcome f1t = runApp(base, CompileMode::TapaSingle, 1);
+        double s[4] = {f1v.latency / f1t.latency, 0, 0, 0};
+        for (int f = 2; f <= 4; ++f) {
+            apps::AppDesign app =
+                apps::buildKnn(apps::KnnConfig::scaled(4'000'000, d, f));
+            s[f - 1] =
+                f1v.latency / runApp(app, CompileMode::TapaCs, f).latency;
+        }
+        for (int i = 0; i < 4; ++i)
+            sums[i] += s[i];
+        ++count;
+        t.addRow({strprintf("%d", d), speedupStr(s[0]), speedupStr(s[1]),
+                  speedupStr(s[2]), speedupStr(s[3])});
+    }
+    t.addSeparator();
+    t.addRow({"Avg (model)", speedupStr(sums[0] / count),
+              speedupStr(sums[1] / count), speedupStr(sums[2] / count),
+              speedupStr(sums[3] / count)});
+    t.addRow({"Avg (paper)", "-", "2.0x", "2.7x", "3.9x"});
+    t.print();
+    return 0;
+}

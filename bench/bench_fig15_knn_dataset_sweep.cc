@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces paper Figure 15: KNN speed-up of F1-T and TAPA-CS
+ * (F2-F4) over the Vitis baseline for K=10, D=2, over dataset sizes
+ * 1M-8M. Paper averages: 1.7x / 2.8x / 3.9x vs Vitis (1.4x / 2.3x /
+ * 3.2x vs TAPA).
+ */
+
+#include <cstdio>
+
+#include "apps/knn.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace tapacs;
+using namespace tapacs::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 15: KNN speed-up vs dataset size (D=2, "
+                "K=10) ===\n\n");
+
+    TextTable t({"N", "F1-T", "F2", "F3", "F4", "F4 vs TAPA"});
+    double sums[4] = {0, 0, 0, 0};
+    int count = 0;
+    for (std::int64_t n : {1'000'000LL, 2'000'000LL, 3'000'000LL,
+                           4'000'000LL, 8'000'000LL}) {
+        apps::AppDesign base =
+            apps::buildKnn(apps::KnnConfig::scaled(n, 2, 1));
+        RunOutcome f1v = runApp(base, CompileMode::VitisBaseline, 1);
+        RunOutcome f1t = runApp(base, CompileMode::TapaSingle, 1);
+        double s[4] = {f1v.latency / f1t.latency, 0, 0, 0};
+        double f4_latency = 0.0;
+        for (int f = 2; f <= 4; ++f) {
+            apps::AppDesign app =
+                apps::buildKnn(apps::KnnConfig::scaled(n, 2, f));
+            RunOutcome o = runApp(app, CompileMode::TapaCs, f);
+            s[f - 1] = f1v.latency / o.latency;
+            if (f == 4)
+                f4_latency = o.latency;
+        }
+        for (int i = 0; i < 4; ++i)
+            sums[i] += s[i];
+        ++count;
+        t.addRow({strprintf("%lldM", (long long)(n / 1000000)),
+                  speedupStr(s[0]), speedupStr(s[1]), speedupStr(s[2]),
+                  speedupStr(s[3]),
+                  speedupStr(f1t.latency / f4_latency)});
+    }
+    t.addSeparator();
+    t.addRow({"Avg (model)", speedupStr(sums[0] / count),
+              speedupStr(sums[1] / count), speedupStr(sums[2] / count),
+              speedupStr(sums[3] / count), "-"});
+    t.addRow({"Avg (paper)", "-", "1.7x", "2.8x", "3.9x", "3.2x"});
+    t.print();
+    return 0;
+}

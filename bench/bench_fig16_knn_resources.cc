@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Reproduces paper Figure 16: KNN resource utilization of the
+ * single-FPGA baseline (F1-T, 256-bit / 32 KiB ports) and each FPGA
+ * of the 4-FPGA design (512-bit / 128 KiB ports, 72 blue modules).
+ */
+
+#include "apps/knn.hh"
+#include "bench/bench_util.hh"
+
+using namespace tapacs;
+using namespace tapacs::bench;
+
+int
+main()
+{
+    apps::AppDesign f1 =
+        apps::buildKnn(apps::KnnConfig::scaled(4'000'000, 2, 1));
+    apps::AppDesign f4 =
+        apps::buildKnn(apps::KnnConfig::scaled(4'000'000, 2, 4));
+    printResourceUtilization(
+        "=== Figure 16: KNN resource utilization (N=4M, D=2, K=10) ===",
+        f1, f4);
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces paper Figure 17: CNN latency of the baselines (13x4
+ * under Vitis, 13x8 under TAPA) against TAPA-CS running 13x12 on 2,
+ * 13x16 on 3 and 13x20 on 4 FPGAs. Paper speed-ups vs Vitis 13x4:
+ * 1.41x / 2.0x / 2.54x — sublinear because the boundary traffic
+ * grows with the grid and the 13 row streams contend for the
+ * AlveoLink port.
+ */
+
+#include <cstdio>
+
+#include "apps/cnn.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace tapacs;
+using namespace tapacs::bench;
+
+int
+main()
+{
+    std::printf("=== Figure 17: CNN latency by grid / FPGA count "
+                "===\n\n");
+
+    apps::AppDesign vitis = apps::buildCnn(apps::CnnConfig::scaled(1, true));
+    RunOutcome f1v = runApp(vitis, CompileMode::VitisBaseline, 1);
+    apps::AppDesign tapa = apps::buildCnn(apps::CnnConfig::scaled(1));
+    RunOutcome f1t = runApp(tapa, CompileMode::TapaSingle, 1);
+
+    TextTable t({"Design", "Grid", "Latency", "Fmax",
+                 "Speedup vs F1-V (model/paper)"});
+    t.addRow({"F1-V", "13x4", latencyStr(f1v.latency),
+              formatFrequency(f1v.fmax), "1.00x / 1.00x"});
+    t.addRow({"F1-T", "13x8", latencyStr(f1t.latency),
+              formatFrequency(f1t.fmax),
+              strprintf("%.2fx / 1.10x", f1v.latency / f1t.latency)});
+
+    const double paper[] = {1.41, 2.0, 2.54};
+    for (int f = 2; f <= 4; ++f) {
+        apps::AppDesign app = apps::buildCnn(apps::CnnConfig::scaled(f));
+        RunOutcome o = runApp(app, CompileMode::TapaCs, f);
+        t.addRow({strprintf("F%d", f), strprintf("13x%d", 4 + 4 * f),
+                  o.routable ? latencyStr(o.latency) : "unroutable",
+                  o.routable ? formatFrequency(o.fmax) : "-",
+                  o.routable ? strprintf("%.2fx / %.2fx",
+                                         f1v.latency / o.latency,
+                                         paper[f - 2])
+                             : "-"});
+    }
+    t.print();
+    return 0;
+}

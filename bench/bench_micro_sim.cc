@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the dataflow simulator:
+ * event throughput on pipelines of growing depth and block count,
+ * and a full KNN simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "apps/knn.hh"
+#include "bench/bench_util.hh"
+
+using namespace tapacs;
+using namespace tapacs::bench;
+
+namespace
+{
+
+void
+BM_SimPipeline(benchmark::State &state)
+{
+    const int depth = static_cast<int>(state.range(0));
+    const int blocks = static_cast<int>(state.range(1));
+
+    TaskGraph g("pipe");
+    DevicePartition part;
+    for (int i = 0; i < depth; ++i) {
+        WorkProfile w;
+        w.computeOps = 1.0e6;
+        w.opsPerCycle = 4.0;
+        w.numBlocks = blocks;
+        g.addVertex(strprintf("t%d", i), ResourceVector{}, w);
+        part.deviceOf.push_back(0);
+        if (i > 0)
+            g.addEdge(i - 1, i, 64);
+    }
+    Cluster cluster = makePaperTestbed(1);
+    HbmBinding binding;
+    binding.channelsOf.assign(depth, {});
+    binding.usersPerChannel.assign(1, std::vector<int>(32, 0));
+    PipelinePlan plan;
+    plan.edges.assign(g.numEdges(), EdgePipelining{});
+    plan.addedAreaPerDevice.assign(1, ResourceVector{});
+    std::vector<Hertz> fmax(1, 300.0e6);
+
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        sim::SimResult r =
+            sim::simulate(g, cluster, part, binding, plan, fmax);
+        events += static_cast<std::uint64_t>(r.stats.get("events"));
+        benchmark::DoNotOptimize(r.makespan);
+    }
+    state.counters["events/s"] = benchmark::Counter(
+        static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimPipeline)
+    ->Args({8, 64})
+    ->Args({32, 64})
+    ->Args({32, 512})
+    ->Args({128, 128});
+
+void
+BM_SimKnnFull(benchmark::State &state)
+{
+    const int fpgas = static_cast<int>(state.range(0));
+    apps::AppDesign app =
+        apps::buildKnn(apps::KnnConfig::scaled(4'000'000, 2, fpgas));
+    Cluster cluster = makePaperTestbed(std::max(1, fpgas));
+    CompileOptions opt;
+    opt.mode = fpgas > 1 ? CompileMode::TapaCs : CompileMode::TapaSingle;
+    opt.numFpgas = fpgas;
+    CompileResult compiled =
+        compileProgram(app.graph, app.tasks, cluster, opt);
+    if (!compiled.routable) {
+        state.SkipWithError("design did not route");
+        return;
+    }
+    for (auto _ : state) {
+        sim::SimResult r =
+            sim::simulate(app.graph, cluster, compiled.partition,
+                          compiled.binding, compiled.pipeline,
+                          compiled.deviceFmax);
+        benchmark::DoNotOptimize(r.makespan);
+    }
+}
+BENCHMARK(BM_SimKnnFull)->Arg(1)->Arg(4);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the ILP substrate: simplex
+ * pivot throughput on LPs of growing size, branch-and-bound on
+ * knapsacks, and the end-to-end floorplanning ILP for a coarse
+ * partitioning instance.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "ilp/simplex.hh"
+#include "ilp/solver.hh"
+
+using namespace tapacs;
+using namespace tapacs::ilp;
+
+namespace
+{
+
+Model
+randomLp(int vars, int rows, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Model m;
+    for (int i = 0; i < vars; ++i)
+        m.addVar(VarKind::Continuous, 0.0, 10.0);
+    for (int r = 0; r < rows; ++r) {
+        LinExpr e;
+        for (int i = 0; i < vars; ++i) {
+            if (rng.bernoulli(0.4))
+                e.add(i, rng.uniformReal(0.1, 2.0));
+        }
+        m.addConstraint(std::move(e), Sense::LessEqual,
+                        rng.uniformReal(5.0, 50.0));
+    }
+    LinExpr obj;
+    for (int i = 0; i < vars; ++i)
+        obj.add(i, rng.uniformReal(-2.0, 0.5));
+    m.setObjective(std::move(obj));
+    return m;
+}
+
+void
+BM_SimplexSolve(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Model m = randomLp(n, n, 42);
+    for (auto _ : state) {
+        LpResult r = solveLp(m);
+        benchmark::DoNotOptimize(r.objective);
+    }
+    state.SetComplexityN(n);
+}
+BENCHMARK(BM_SimplexSolve)->Arg(16)->Arg(64)->Arg(128)->Arg(256)
+    ->Complexity();
+
+void
+BM_BranchBoundKnapsack(benchmark::State &state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(7);
+    Model m;
+    LinExpr cap, obj;
+    for (int i = 0; i < n; ++i) {
+        const VarId v = m.addBinary();
+        cap.add(v, rng.uniformReal(1.0, 5.0));
+        obj.add(v, -rng.uniformReal(1.0, 10.0));
+    }
+    m.addConstraint(std::move(cap), Sense::LessEqual, n * 1.2);
+    m.setObjective(std::move(obj));
+    for (auto _ : state) {
+        BranchBoundSolver solver;
+        Solution s = solver.solve(m);
+        benchmark::DoNotOptimize(s.objective);
+    }
+}
+BENCHMARK(BM_BranchBoundKnapsack)->Arg(8)->Arg(16)->Arg(24);
+
+void
+BM_AssignmentIlp(benchmark::State &state)
+{
+    // A partitioning-shaped MILP: v tasks onto 2 devices with a cut
+    // objective (mirrors one coarse level-1 solve).
+    const int v = static_cast<int>(state.range(0));
+    Rng rng(13);
+    Model m;
+    std::vector<VarId> y;
+    for (int i = 0; i < v; ++i)
+        y.push_back(m.addBinary());
+    LinExpr balance;
+    for (int i = 0; i < v; ++i)
+        balance.add(y[i], 1.0);
+    LinExpr b2 = balance;
+    m.addConstraint(std::move(balance), Sense::LessEqual, v * 0.6);
+    m.addConstraint(std::move(b2), Sense::GreaterEqual, v * 0.4);
+    LinExpr obj;
+    for (int i = 1; i < v; ++i) {
+        const VarId d = m.addContinuous(0.0);
+        LinExpr c1;
+        c1.add(y[i - 1], 1.0).add(y[i], -1.0).add(d, -1.0);
+        m.addConstraint(std::move(c1), Sense::LessEqual, 0.0);
+        LinExpr c2;
+        c2.add(y[i], 1.0).add(y[i - 1], -1.0).add(d, -1.0);
+        m.addConstraint(std::move(c2), Sense::LessEqual, 0.0);
+        obj.add(d, rng.uniformReal(16.0, 512.0));
+    }
+    m.setObjective(std::move(obj));
+    for (auto _ : state) {
+        SolverOptions opt;
+        opt.maxNodes = 200;
+        opt.timeLimitSeconds = 2.0;
+        BranchBoundSolver solver(opt);
+        Solution s = solver.solve(m);
+        benchmark::DoNotOptimize(s.status);
+    }
+}
+BENCHMARK(BM_AssignmentIlp)->Arg(16)->Arg(32)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Reproduces paper Table 1: qualitative comparison of TAPA-CS with
+ * prior scale-out acceleration approaches, with this implementation's
+ * measured Fmax band in the last column (the paper reports 300 MHz).
+ */
+
+#include <cstdio>
+
+#include "apps/cnn.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace tapacs;
+using namespace tapacs::bench;
+
+int
+main()
+{
+    std::printf("=== Table 1: comparison with prior scale-out "
+                "approaches ===\n\n");
+
+    TextTable t({"Method", "HLS", "Ethernet", "Floorplan", "Pipelining",
+                 "Topo-aware", "Auto-partition", "HW exec", "General",
+                 "Fmax (MHz)"});
+    t.addRow({"FPGA'12", "no", "no", "no", "no", "no", "no", "no", "yes",
+              "85"});
+    t.addRow({"Simulation-based", "no", "no", "no", "no", "no", "yes",
+              "no", "yes", "-"});
+    t.addRow({"Virtualization", "yes", "yes", "no", "no", "no", "yes",
+              "yes", "yes", "100-300"});
+    t.addRow({"CNN/DNN-specific", "yes", "yes", "no", "no", "no", "yes",
+              "yes", "no", "240"});
+    t.addSeparator();
+
+    // Measure our TAPA-CS Fmax on the largest routed design (the CNN
+    // grid on 4 FPGAs) to fill the last row honestly.
+    apps::AppDesign cnn = apps::buildCnn(apps::CnnConfig::scaled(4));
+    RunOutcome o = runApp(cnn, CompileMode::TapaCs, 4);
+    t.addRow({"TAPA-CS (this repo)", "yes", "yes", "yes", "yes", "yes",
+              "yes", "sim", "yes",
+              o.routable ? strprintf("%.0f (paper: 300)", o.fmax / 1e6)
+                         : "unroutable"});
+    t.print();
+    return 0;
+}

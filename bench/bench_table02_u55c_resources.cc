@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Reproduces paper Table 2: resource availability on the Alveo U55C,
+ * straight from the device model (these are exact constants, so model
+ * and paper must agree to the digit).
+ */
+
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "device/device.hh"
+
+using namespace tapacs;
+
+int
+main()
+{
+    std::printf("=== Table 2: Alveo U55C resource availability ===\n\n");
+    const DeviceModel dev = makeU55C();
+    const ResourceVector &total = dev.totalResources();
+
+    const struct
+    {
+        ResourceKind kind;
+        double paper;
+    } rows[] = {
+        {ResourceKind::Lut, 1146240},  {ResourceKind::Ff, 2292480},
+        {ResourceKind::Bram, 1776},    {ResourceKind::Dsp, 8376},
+        {ResourceKind::Uram, 960},
+    };
+
+    TextTable t({"Resource Type", "Model", "Paper", "Match"});
+    bool all_match = true;
+    for (const auto &row : rows) {
+        const bool match = total[row.kind] == row.paper;
+        all_match &= match;
+        t.addRow({toString(row.kind), strprintf("%.0f", total[row.kind]),
+                  strprintf("%.0f", row.paper), match ? "yes" : "NO"});
+    }
+    t.print();
+
+    std::printf("\nDerived layout: %d slots (%d cols x %d rows), %d "
+                "dies, %d HBM channels in row %d, board max %s\n",
+                dev.numSlots(), dev.cols(), dev.rows(), dev.numDies(),
+                dev.memory().channels, dev.memoryRow(),
+                formatFrequency(dev.maxFrequency()).c_str());
+    return all_match ? 0 : 1;
+}

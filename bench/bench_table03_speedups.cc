@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Reproduces paper Table 3: speed-up of TAPA (F1-T) and TAPA-CS
+ * (F2/F3/F4) normalized against the Vitis HLS (F1-V) single-FPGA
+ * baseline, averaged across each benchmark's tested configurations.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/cnn.hh"
+#include "apps/knn.hh"
+#include "apps/pagerank.hh"
+#include "apps/stencil.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace tapacs;
+using namespace tapacs::bench;
+
+namespace
+{
+
+struct SpeedupRow
+{
+    std::string name;
+    // Geometric means across configurations, normalized to F1-V.
+    double f1t = 0.0, f2 = 0.0, f3 = 0.0, f4 = 0.0;
+    int configs = 0;
+};
+
+/** Accumulate one configuration's five runs into the row. */
+void
+accumulate(SpeedupRow &row, double base, double t, double s2, double s3,
+           double s4)
+{
+    row.f1t += base / t;
+    row.f2 += base / s2;
+    row.f3 += base / s3;
+    row.f4 += base / s4;
+    ++row.configs;
+}
+
+void
+finish(SpeedupRow &row)
+{
+    if (row.configs > 0) {
+        row.f1t /= row.configs;
+        row.f2 /= row.configs;
+        row.f3 /= row.configs;
+        row.f4 /= row.configs;
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("=== Table 3: speed-up vs the Vitis single-FPGA "
+                "baseline ===\n\n");
+
+    // --- Stencil across iteration counts ------------------------------
+    SpeedupRow stencil{"Stencil"};
+    for (int iters : {64, 128, 256, 512}) {
+        apps::AppDesign base =
+            apps::buildStencil(apps::StencilConfig::scaled(iters, 1));
+        const double f1v =
+            runApp(base, CompileMode::VitisBaseline, 1).latency;
+        const double f1t = runApp(base, CompileMode::TapaSingle, 1).latency;
+        double multi[3];
+        for (int f = 2; f <= 4; ++f) {
+            apps::AppDesign app =
+                apps::buildStencil(apps::StencilConfig::scaled(iters, f));
+            multi[f - 2] = runApp(app, CompileMode::TapaCs, f).latency;
+        }
+        accumulate(stencil, f1v, f1t, multi[0], multi[1], multi[2]);
+    }
+    finish(stencil);
+
+    // --- PageRank across datasets --------------------------------------
+    SpeedupRow pagerank{"PageRank"};
+    for (const auto &ds : apps::pagerankDatasets()) {
+        apps::AppDesign base =
+            apps::buildPageRank(apps::PageRankConfig::scaled(ds, 1));
+        const double f1v =
+            runApp(base, CompileMode::VitisBaseline, 1).latency;
+        const double f1t = runApp(base, CompileMode::TapaSingle, 1).latency;
+        double multi[3];
+        for (int f = 2; f <= 4; ++f) {
+            apps::AppDesign app =
+                apps::buildPageRank(apps::PageRankConfig::scaled(ds, f));
+            multi[f - 2] = runApp(app, CompileMode::TapaCs, f).latency;
+        }
+        accumulate(pagerank, f1v, f1t, multi[0], multi[1], multi[2]);
+    }
+    finish(pagerank);
+
+    // --- KNN across dataset sizes and dimensions -----------------------
+    SpeedupRow knn{"KNN"};
+    const std::vector<std::pair<std::int64_t, int>> knn_points = {
+        {4'000'000, 2}, {4'000'000, 16}, {4'000'000, 128},
+        {1'000'000, 2}, {8'000'000, 2},
+    };
+    for (auto [n, d] : knn_points) {
+        apps::AppDesign base =
+            apps::buildKnn(apps::KnnConfig::scaled(n, d, 1));
+        const double f1v =
+            runApp(base, CompileMode::VitisBaseline, 1).latency;
+        const double f1t = runApp(base, CompileMode::TapaSingle, 1).latency;
+        double multi[3];
+        for (int f = 2; f <= 4; ++f) {
+            apps::AppDesign app =
+                apps::buildKnn(apps::KnnConfig::scaled(n, d, f));
+            multi[f - 2] = runApp(app, CompileMode::TapaCs, f).latency;
+        }
+        accumulate(knn, f1v, f1t, multi[0], multi[1], multi[2]);
+    }
+    finish(knn);
+
+    // --- CNN: one grid per FPGA count ----------------------------------
+    SpeedupRow cnn{"CNN"};
+    {
+        apps::AppDesign vitis =
+            apps::buildCnn(apps::CnnConfig::scaled(1, true));
+        const double f1v =
+            runApp(vitis, CompileMode::VitisBaseline, 1).latency;
+        apps::AppDesign tapa =
+            apps::buildCnn(apps::CnnConfig::scaled(1, false));
+        const double f1t =
+            runApp(tapa, CompileMode::TapaSingle, 1).latency;
+        double multi[3];
+        for (int f = 2; f <= 4; ++f) {
+            apps::AppDesign app =
+                apps::buildCnn(apps::CnnConfig::scaled(f));
+            multi[f - 2] = runApp(app, CompileMode::TapaCs, f).latency;
+        }
+        accumulate(cnn, f1v, f1t, multi[0], multi[1], multi[2]);
+        finish(cnn);
+    }
+
+    // --- Render ---------------------------------------------------------
+    struct PaperRow
+    {
+        double f1t, f2, f3, f4;
+    };
+    const PaperRow paper_rows[] = {
+        {1.25, 1.71, 2.37, 3.06}, // Stencil
+        {1.54, 2.64, 4.28, 5.98}, // PageRank
+        {1.20, 1.72, 2.53, 3.60}, // KNN
+        {1.10, 1.41, 2.00, 2.54}, // CNN
+    };
+    const SpeedupRow *rows[] = {&stencil, &pagerank, &knn, &cnn};
+
+    TextTable table({"Benchmark", "F1-T", "F2", "F3", "F4"});
+    table.setTitle("Speed-up vs F1-V (model / paper)");
+    double sum2 = 0.0, sum3 = 0.0, sum4 = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        const SpeedupRow &r = *rows[i];
+        const PaperRow &p = paper_rows[i];
+        table.addRow({r.name,
+                      strprintf("%.2fx / %.2fx", r.f1t, p.f1t),
+                      strprintf("%.2fx / %.2fx", r.f2, p.f2),
+                      strprintf("%.2fx / %.2fx", r.f3, p.f3),
+                      strprintf("%.2fx / %.2fx", r.f4, p.f4)});
+        sum2 += r.f2;
+        sum3 += r.f3;
+        sum4 += r.f4;
+    }
+    table.addSeparator();
+    table.addRow({"Average",
+                  "-",
+                  strprintf("%.2fx / 2.1x", sum2 / 4.0),
+                  strprintf("%.2fx / 3.2x", sum3 / 4.0),
+                  strprintf("%.2fx / 4.4x", sum4 / 4.0)});
+    table.print();
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Reproduces paper Table 6: the KNN parameter space (N, D, K) and the
+ * resulting search-space sizes, which range from 8 MB to 4 GB.
+ */
+
+#include <cstdio>
+
+#include "apps/knn.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+
+using namespace tapacs;
+using namespace tapacs::apps;
+
+int
+main()
+{
+    std::printf("=== Table 6: KNN parameters ===\n\n");
+    std::printf("N: 1M, 2M, 3M, 4M, 8M   D: 2-128   K: 10\n\n");
+
+    TextTable t({"N", "D", "Search space", "Blue modules (F1)",
+                 "Inter-FPGA bytes (F2)"});
+    const std::int64_t ns[] = {1'000'000, 4'000'000, 8'000'000};
+    const int ds[] = {2, 16, 128};
+    for (std::int64_t n : ns) {
+        for (int d : ds) {
+            KnnConfig f1 = KnnConfig::scaled(n, d, 1);
+            AppDesign f2 = buildKnn(KnnConfig::scaled(n, d, 2));
+            t.addRow({strprintf("%lldM", (long long)(n / 1000000)),
+                      strprintf("%d", d),
+                      formatBytes(knnSearchSpaceBytes(f1)),
+                      strprintf("%d", f1.numBlue),
+                      formatBytes(f2.expectedInterFpgaBytes)});
+        }
+    }
+    t.print();
+
+    // The headline sanity checks from the paper text.
+    KnnConfig smallest;
+    smallest.n = 1'000'000;
+    smallest.d = 2;
+    KnnConfig largest;
+    largest.n = 8'000'000;
+    largest.d = 128;
+    std::printf("\nsearch space range: %s (paper: 8 MB) to %s "
+                "(paper: 4 GB)\n",
+                formatBytes(knnSearchSpaceBytes(smallest)).c_str(),
+                formatBytes(knnSearchSpaceBytes(largest)).c_str());
+    std::printf("inter-FPGA volume depends only on K: constant across "
+                "the sweep above.\n");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Reproduces paper Table 7: CNN inter-FPGA data transfer volumes over
+ * the tested grid sizes, and cross-checks the compiled partitions
+ * actually cut that much traffic.
+ */
+
+#include <cstdio>
+
+#include "apps/cnn.hh"
+#include "bench/bench_util.hh"
+#include "common/table.hh"
+
+using namespace tapacs;
+using namespace tapacs::bench;
+
+int
+main()
+{
+    std::printf("=== Table 7: CNN inter-FPGA transfer volumes ===\n\n");
+
+    const struct
+    {
+        int cols;
+        int fpgas;
+        double paperMb;
+    } rows[] = {
+        {4, 1, 2.14},  {8, 1, 4.28},   {12, 2, 6.42},
+        {16, 3, 8.57}, {20, 4, 10.71},
+    };
+
+    TextTable t({"Grid", "FPGAs", "Volume MB (model/paper)",
+                 "Compiled cut traffic"});
+    for (const auto &row : rows) {
+        apps::CnnConfig cfg;
+        cfg.cols = row.cols;
+        cfg.numFpgas = row.fpgas;
+        const double volume = apps::cnnInterFpgaBytes(cfg);
+
+        std::string measured = "n/a (single FPGA)";
+        if (row.fpgas > 1) {
+            apps::AppDesign app = apps::buildCnn(cfg);
+            RunOutcome o = runApp(app, CompileMode::TapaCs, row.fpgas);
+            measured = o.routable
+                           ? strprintf("%.2f MB",
+                                       o.compiled.cutTrafficBytes / 1e6)
+                           : "unroutable";
+        }
+        t.addRow({strprintf("13x%d", row.cols),
+                  strprintf("%d", row.fpgas),
+                  strprintf("%.2f / %.2f", volume / 1e6, row.paperMb),
+                  measured});
+    }
+    t.print();
+    return 0;
+}

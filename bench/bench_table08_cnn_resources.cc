@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Reproduces paper Table 8: CNN resource utilization (percent of a
+ * U55C) across grid sizes, from the synthesized module areas. The
+ * paper's 13x12 and larger exceed a single device — the model must
+ * show the same over-capacity growth.
+ */
+
+#include <cstdio>
+
+#include "apps/cnn.hh"
+#include "common/logging.hh"
+#include "device/device.hh"
+#include "common/table.hh"
+#include "hls/synthesis.hh"
+
+using namespace tapacs;
+using namespace tapacs::apps;
+
+int
+main()
+{
+    std::printf("=== Table 8: CNN resource utilization by grid size "
+                "===\n\n");
+
+    const struct
+    {
+        int cols;
+        double lut, ff, bram, dsp;
+    } paper[] = {
+        {4, 20.4, 12.1, 14.2, 25.2},  {8, 38.3, 23.5, 23.7, 49.0},
+        {12, 56.1, 34.3, 32.7, 80.1}, {16, 74.0, 45.7, 42.3, 97.6},
+        {20, 91.9, 57.0, 52.1, 123.7},
+    };
+
+    const ResourceVector cap = makeU55C().totalResources();
+    TextTable t({"Grid", "LUT% (m/p)", "FF% (m/p)", "BRAM% (m/p)",
+                 "DSP% (m/p)", "Fits 1 device?"});
+    for (const auto &row : paper) {
+        CnnConfig cfg;
+        cfg.cols = row.cols;
+        AppDesign app = buildCnn(cfg);
+        hls::ProgramSynthesis synth = hls::synthesizeAll(app.tasks);
+        hls::applySynthesis(app.graph, synth);
+        const ResourceVector total = app.graph.totalArea();
+        auto pct = [&](ResourceKind k) {
+            return total.utilization(k, cap) * 100.0;
+        };
+        const double worst = total.maxUtilization(cap);
+        t.addRow({strprintf("13x%d", row.cols),
+                  strprintf("%.1f / %.1f", pct(ResourceKind::Lut), row.lut),
+                  strprintf("%.1f / %.1f", pct(ResourceKind::Ff), row.ff),
+                  strprintf("%.1f / %.1f", pct(ResourceKind::Bram),
+                            row.bram),
+                  strprintf("%.1f / %.1f", pct(ResourceKind::Dsp), row.dsp),
+                  worst <= 0.70 ? "yes (<= threshold)" : "no"});
+    }
+    t.print();
+    std::printf("\n(m/p = model / paper; the paper routes 13x4 with "
+                "Vitis, 13x8 with TAPA, larger grids need 2-4 FPGAs)\n");
+    return 0;
+}

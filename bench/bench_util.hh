@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses.
+ *
+ * Every bench compiles an application design in one of the three
+ * modes (F1-V / F1-T / TAPA-CS on N FPGAs), simulates it, and prints
+ * paper-reported values next to the model's measurements.
+ */
+
+#ifndef TAPACS_BENCH_BENCH_UTIL_HH
+#define TAPACS_BENCH_BENCH_UTIL_HH
+
+#include <string>
+
+#include "apps/app_design.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "compiler/compiler.hh"
+#include "sim/dataflow_sim.hh"
+
+namespace tapacs::bench
+{
+
+/** Outcome of compiling + simulating one design point. */
+struct RunOutcome
+{
+    bool routable = false;
+    std::string failureReason;
+    Hertz fmax = 0.0;
+    Seconds latency = 0.0;
+    CompileResult compiled;
+    sim::SimResult run;
+};
+
+/**
+ * Compile @p app in @p mode for @p numFpgas devices on the paper
+ * testbed and simulate one run.
+ */
+inline RunOutcome
+runApp(apps::AppDesign &app, CompileMode mode, int numFpgas)
+{
+    RunOutcome out;
+    Cluster cluster = makePaperTestbed(std::max(1, numFpgas));
+    CompileOptions options;
+    options.mode = mode;
+    options.numFpgas = numFpgas;
+    options.vitisPrePipelined = app.prePipelined;
+    out.compiled = compileProgram(app.graph, app.tasks, cluster, options);
+    out.routable = out.compiled.routable;
+    out.failureReason = out.compiled.failureReason;
+    if (!out.routable)
+        return out;
+    out.fmax = out.compiled.fmax;
+    out.run = sim::simulate(app.graph, cluster, out.compiled.partition,
+                            out.compiled.binding, out.compiled.pipeline,
+                            out.compiled.deviceFmax);
+    out.latency = out.run.makespan;
+    return out;
+}
+
+/** Format a speed-up factor like the paper ("2.64x"). */
+inline std::string
+speedupStr(double x)
+{
+    return strprintf("%.2fx", x);
+}
+
+/** Render a latency in adaptive units. */
+inline std::string
+latencyStr(Seconds s)
+{
+    return formatSeconds(s);
+}
+
+/**
+ * Shared body of the resource-utilization figures (paper Figs. 11,
+ * 13 and 16): per-resource utilization of the single-FPGA TAPA
+ * baseline (F1-T) next to each of the four FPGAs of the TAPA-CS F4
+ * design (F4-1 .. F4-4), including the reserved networking IPs.
+ */
+inline void
+printResourceUtilization(const char *title, apps::AppDesign &f1app,
+                         apps::AppDesign &f4app)
+{
+    std::printf("%s\n\n", title);
+    const ResourceVector cap = makeU55C().totalResources();
+
+    RunOutcome f1 = runApp(f1app, CompileMode::TapaSingle, 1);
+    RunOutcome f4 = runApp(f4app, CompileMode::TapaCs, 4);
+
+    TextTable t({"Design", "LUT%", "FF%", "BRAM%", "DSP%", "URAM%",
+                 "Fmax"});
+    auto addRow = [&](const std::string &name, ResourceVector area,
+                      const RunOutcome &o) {
+        t.addRow({name,
+                  strprintf("%.1f",
+                            area.utilization(ResourceKind::Lut, cap) * 100),
+                  strprintf("%.1f",
+                            area.utilization(ResourceKind::Ff, cap) * 100),
+                  strprintf("%.1f",
+                            area.utilization(ResourceKind::Bram, cap) *
+                                100),
+                  strprintf("%.1f",
+                            area.utilization(ResourceKind::Dsp, cap) * 100),
+                  strprintf("%.1f",
+                            area.utilization(ResourceKind::Uram, cap) *
+                                100),
+                  o.routable ? formatFrequency(o.fmax) : "unroutable"});
+    };
+
+    if (f1.routable) {
+        addRow("F1-T", f1.compiled.deviceAreas[0], f1);
+    } else {
+        t.addRow({"F1-T", "-", "-", "-", "-", "-",
+                  "unroutable: " + f1.failureReason});
+    }
+    if (f4.routable) {
+        for (int d = 0; d < 4; ++d) {
+            ResourceVector area = f4.compiled.deviceAreas[d];
+            area += f4.compiled.reservedPerDevice;
+            addRow(strprintf("F4-%d", d + 1), area, f4);
+        }
+    } else {
+        t.addRow({"F4", "-", "-", "-", "-", "-",
+                  "unroutable: " + f4.failureReason});
+    }
+    t.print();
+    std::printf("\n(F4 rows include the AlveoLink networking IPs "
+                "reserved on every board)\n");
+}
+
+} // namespace tapacs::bench
+
+#endif // TAPACS_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Example: inspecting a floorplan.
+ *
+ * Compiles the 13x12 AutoSA systolic array for two FPGAs and prints
+ * the full floorplan — which FPGA and slot every module landed in,
+ * where the partition cut fell (it should slice the grid between PE
+ * columns), the HBM channel bindings and the interconnect pipelining
+ * statistics.
+ *
+ * Run:  ./cnn_partitioning
+ */
+
+#include <cstdio>
+
+#include "apps/cnn.hh"
+#include "common/logging.hh"
+#include "compiler/compiler.hh"
+
+using namespace tapacs;
+
+int
+main()
+{
+    apps::AppDesign app = apps::buildCnn(apps::CnnConfig::scaled(2));
+    Cluster cluster = makePaperTestbed(2);
+    CompileOptions opt;
+    opt.mode = CompileMode::TapaCs;
+    opt.numFpgas = 2;
+    CompileResult r = compileProgram(app.graph, app.tasks, cluster, opt);
+    if (!r.routable) {
+        std::printf("compilation failed: %s\n", r.failureReason.c_str());
+        return 1;
+    }
+
+    std::printf("CNN 13x12 on 2 FPGAs: %s, L1 %.2fs + L2 %.2fs\n\n",
+                formatFrequency(r.fmax).c_str(), r.l1Seconds,
+                r.l2Seconds);
+
+    // Which PE columns ended up on which device?
+    std::printf("PE grid column -> device mapping:\n  ");
+    for (int c = 0; c < 12; ++c) {
+        int on_dev1 = 0;
+        for (int row = 0; row < 13; ++row) {
+            const VertexId v =
+                app.graph.findVertex(strprintf("pe_%d_%d", row, c));
+            if (v >= 0 && r.partition.deviceOf[v] == 1)
+                ++on_dev1;
+        }
+        std::printf("col%-2d:%s ", c,
+                    on_dev1 > 6 ? "F1" : (on_dev1 > 0 ? "mix" : "F0"));
+    }
+    std::printf("\n\n");
+
+    // Cut statistics.
+    std::printf("cut: %d FIFOs, %s of traffic (Table 7 for 13x12: "
+                "6.42 MB)\n",
+                cutEdgeCount(app.graph, r.partition),
+                formatBytes(r.cutTrafficBytes).c_str());
+
+    // Slot occupancy per device.
+    for (DeviceId d = 0; d < 2; ++d) {
+        std::printf("\nFPGA %d slot occupancy (modules per slot):\n", d);
+        const DeviceModel &dev = cluster.device();
+        std::vector<int> count(dev.numSlots(), 0);
+        for (VertexId v = 0; v < app.graph.numVertices(); ++v) {
+            if (r.partition.deviceOf[v] == d) {
+                const SlotCoord &s = r.placement.slotOf[v];
+                ++count[s.row * dev.cols() + s.col];
+            }
+        }
+        for (int row = dev.rows() - 1; row >= 0; --row) {
+            std::printf("  row %d: ", row);
+            for (int col = 0; col < dev.cols(); ++col)
+                std::printf("[%3d] ", count[row * dev.cols() + col]);
+            std::printf(row == 0 ? " <- HBM channels here\n" : "\n");
+        }
+    }
+
+    // Pipelining summary.
+    int pipelined = 0, balanced = 0;
+    for (const auto &ep : r.pipeline.edges) {
+        pipelined += ep.stages > 0 ? 1 : 0;
+        balanced += ep.balanceDepth > 0 ? 1 : 0;
+    }
+    std::printf("\npipelining: %d FIFOs registered (%.0f kbit of "
+                "registers), %d balancing FIFOs (%.0f kbit)\n",
+                pipelined, r.pipeline.totalRegisterBits / 1000.0,
+                balanced, r.pipeline.totalBalanceBits / 1000.0);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Common container for benchmark application designs.
+ *
+ * Each app builder returns the task graph (step 1 of the flow), the
+ * pre-synthesis task IRs (input to step 2), and the analytic
+ * quantities the paper tabulates (total operations, expected
+ * inter-FPGA volume) so the benches can print paper-vs-model rows.
+ */
+
+#ifndef TAPACS_APPS_APP_DESIGN_HH
+#define TAPACS_APPS_APP_DESIGN_HH
+
+#include <vector>
+
+#include "graph/task_graph.hh"
+#include "hls/task_ir.hh"
+
+namespace tapacs::apps
+{
+
+/** A fully described benchmark design. */
+struct AppDesign
+{
+    TaskGraph graph;
+    std::vector<hls::TaskIr> tasks;
+    /** Total arithmetic work of one run. */
+    double totalOps = 0.0;
+    /** Total external-memory traffic of one run (bytes). */
+    double totalMemBytes = 0.0;
+    /** Analytic inter-FPGA transfer volume (bytes), as the paper
+     *  tabulates it (Tables 4 and 7); zero when not applicable. */
+    double expectedInterFpgaBytes = 0.0;
+    /** True when the generated RTL arrives fully registered (AutoSA
+     *  systolic arrays) — the Vitis baseline then keeps its clock. */
+    bool prePipelined = false;
+};
+
+} // namespace tapacs::apps
+
+#endif // TAPACS_APPS_APP_DESIGN_HH

@@ -1,0 +1,191 @@
+#include "apps/cnn.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tapacs::apps
+{
+
+CnnConfig
+CnnConfig::scaled(int numFpgas, bool vitisBaseline)
+{
+    CnnConfig c;
+    c.numFpgas = std::max(1, numFpgas);
+    if (c.numFpgas <= 1)
+        c.cols = vitisBaseline ? 4 : 8;
+    else
+        c.cols = 4 + 4 * c.numFpgas; // 12 / 16 / 20
+    return c;
+}
+
+double
+cnnInterFpgaBytes(const CnnConfig &config)
+{
+    // Paper Table 7: 2.14 MB at 13x4, linear in columns.
+    return 2.14e6 * config.cols / 4.0;
+}
+
+double
+cnnFlopsPerInput()
+{
+    return 54.5e6;
+}
+
+AppDesign
+buildCnn(const CnnConfig &config)
+{
+    tapacs_assert(config.rows >= 1 && config.cols >= 1);
+    AppDesign app;
+    app.graph.setName(strprintf("cnn-vgg3-%dx%d", config.rows,
+                                config.cols));
+    app.prePipelined = true; // AutoSA emits fully registered arrays
+
+    const int R = config.rows, C = config.cols;
+    const int blocks = config.numBlocks;
+    const double total_ops = cnnFlopsPerInput() * config.batch;
+    app.totalOps = total_ops;
+
+    // VGG conv3 footprint per input (56x56x256 activations, 3x3x256x
+    // 256 weights).
+    const double act_bytes = 802816.0 * config.batch;
+    const double wt_bytes = 2359296.0;
+    const double out_bytes = 802816.0 * config.batch;
+
+    // Per-boundary activation volume when this grid spans numFpgas
+    // devices (Table 7 totals split over the F-1 vertical cuts).
+    const int boundaries = std::max(1, config.numFpgas - 1);
+    const double h_edge_bytes =
+        cnnInterFpgaBytes(config) / boundaries / R;
+    const double v_edge_bytes = h_edge_bytes * 0.5;
+
+    auto addSimpleIr = [&](const std::string &name, int mem_ports,
+                           int width) {
+        hls::TaskIr ir;
+        ir.name = name;
+        ir.intAluUnits = 8;
+        ir.fsmStates = 8;
+        for (int c = 0; c < mem_ports; ++c)
+            ir.addMemPort(strprintf("m%d", c), width, 8_KiB);
+        ir.addStream("s", 256, false);
+        app.tasks.push_back(ir);
+    };
+
+    // --- Loaders ------------------------------------------------------
+    WorkProfile loadA_work;
+    loadA_work.computeOps = act_bytes / 4.0;
+    loadA_work.opsPerCycle = 16.0;
+    loadA_work.memReadBytes = act_bytes;
+    loadA_work.memPortWidthBits = 512;
+    loadA_work.memChannels = 2;
+    loadA_work.numBlocks = blocks;
+    const VertexId loaderA =
+        app.graph.addVertex("loader_act", ResourceVector{}, loadA_work);
+    addSimpleIr("loader_act", 2, 512);
+    app.totalMemBytes += act_bytes;
+
+    WorkProfile loadB_work = loadA_work;
+    loadB_work.memReadBytes = wt_bytes;
+    loadB_work.computeOps = wt_bytes / 4.0;
+    const VertexId loaderB =
+        app.graph.addVertex("loader_wt", ResourceVector{}, loadB_work);
+    addSimpleIr("loader_wt", 2, 512);
+    app.totalMemBytes += wt_bytes;
+
+    // --- Feeders -------------------------------------------------------
+    std::vector<VertexId> act_feed(R), wt_feed(C);
+    for (int r = 0; r < R; ++r) {
+        WorkProfile w;
+        w.computeOps = act_bytes / R / 4.0;
+        w.opsPerCycle = 8.0;
+        w.numBlocks = blocks;
+        act_feed[r] = app.graph.addVertex(strprintf("feed_act%d", r),
+                                          ResourceVector{}, w);
+        addSimpleIr(strprintf("feed_act%d", r), 0, 0);
+        app.graph.addEdge(loaderA, act_feed[r], 256, act_bytes / R);
+    }
+    for (int c = 0; c < C; ++c) {
+        WorkProfile w;
+        w.computeOps = wt_bytes / C / 4.0;
+        w.opsPerCycle = 8.0;
+        w.numBlocks = blocks;
+        wt_feed[c] = app.graph.addVertex(strprintf("feed_wt%d", c),
+                                         ResourceVector{}, w);
+        addSimpleIr(strprintf("feed_wt%d", c), 0, 0);
+        app.graph.addEdge(loaderB, wt_feed[c], 256, wt_bytes / C);
+    }
+
+    // --- PE grid --------------------------------------------------------
+    std::vector<VertexId> pe(static_cast<size_t>(R) * C);
+    for (int r = 0; r < R; ++r) {
+        for (int c = 0; c < C; ++c) {
+            WorkProfile w;
+            w.computeOps = total_ops / (R * C);
+            w.opsPerCycle = 16.0; // 8 SIMD MACs
+            w.numBlocks = blocks;
+            const std::string name = strprintf("pe_%d_%d", r, c);
+            pe[r * C + c] =
+                app.graph.addVertex(name, ResourceVector{}, w);
+
+            hls::TaskIr ir;
+            ir.name = name;
+            ir.fp32AddUnits = 8;
+            ir.fp32MulUnits = 8;
+            ir.intAluUnits = 8;
+            ir.fsmStates = 8;
+            ir.localBufferBytes = 8_KiB;
+            ir.addStream("act_in", 256, true);
+            ir.addStream("act_out", 256, false);
+            ir.addStream("psum_in", 256, true);
+            ir.addStream("psum_out", 256, false);
+            app.tasks.push_back(ir);
+
+            // Activation stream from the left.
+            if (c == 0) {
+                app.graph.addEdge(act_feed[r], pe[r * C], 256,
+                                  h_edge_bytes);
+            } else {
+                app.graph.addEdge(pe[r * C + c - 1], pe[r * C + c], 256,
+                                  h_edge_bytes);
+            }
+            // Partial sums from above.
+            if (r == 0) {
+                app.graph.addEdge(wt_feed[c], pe[c], 256, v_edge_bytes);
+            } else {
+                app.graph.addEdge(pe[(r - 1) * C + c], pe[r * C + c],
+                                  256, v_edge_bytes);
+            }
+        }
+    }
+
+    // --- Drainers and collector -----------------------------------------
+    WorkProfile coll_work;
+    coll_work.computeOps = out_bytes / 4.0;
+    coll_work.opsPerCycle = 16.0;
+    coll_work.memWriteBytes = out_bytes;
+    coll_work.memPortWidthBits = 512;
+    coll_work.memChannels = 2;
+    coll_work.numBlocks = blocks;
+    const VertexId collector =
+        app.graph.addVertex("collector", ResourceVector{}, coll_work);
+    addSimpleIr("collector", 2, 512);
+    app.totalMemBytes += out_bytes;
+
+    for (int c = 0; c < C; ++c) {
+        WorkProfile w;
+        w.computeOps = out_bytes / C / 4.0;
+        w.opsPerCycle = 8.0;
+        w.numBlocks = blocks;
+        const VertexId drain = app.graph.addVertex(
+            strprintf("drain%d", c), ResourceVector{}, w);
+        addSimpleIr(strprintf("drain%d", c), 0, 0);
+        app.graph.addEdge(pe[(R - 1) * C + c], drain, 256,
+                          out_bytes / C);
+        app.graph.addEdge(drain, collector, 256, out_bytes / C);
+    }
+
+    app.expectedInterFpgaBytes = cnnInterFpgaBytes(config);
+    return app;
+}
+
+} // namespace tapacs::apps

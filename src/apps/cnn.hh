@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Systolic-array CNN benchmark (AutoSA, paper section 5.5).
+ *
+ * A 13 x C grid of MAC PEs computing the third VGG convolution layer
+ * (54.5 MFLOPs per input): activation feeders push rows in from the
+ * left, weight feeders push columns down from the top, partial sums
+ * drain at the bottom into per-column drainers and one collector.
+ * Grid sizes 13x4 and 13x8 route on one device (Vitis and TAPA
+ * respectively); 13x12 / 13x16 / 13x20 need 2 / 3 / 4 FPGAs.
+ *
+ * The grid structure gives the CNN the highest inter-FPGA edge count
+ * of all benchmarks: a vertical cut severs 13 activation streams,
+ * which contend for the single AlveoLink port pair — the idle-PE
+ * effect the paper reports when scaling this workload.
+ */
+
+#ifndef TAPACS_APPS_CNN_HH
+#define TAPACS_APPS_CNN_HH
+
+#include "apps/app_design.hh"
+
+namespace tapacs::apps
+{
+
+/** Configuration of one CNN design point. */
+struct CnnConfig
+{
+    /** Systolic rows (fixed at 13 in the paper). */
+    int rows = 13;
+    /** Systolic columns (4 - 20 in the paper). */
+    int cols = 4;
+    /** FPGAs the design will target (sets boundary volumes). */
+    int numFpgas = 1;
+    /** Inputs processed per run. */
+    int batch = 16;
+    /** Stream granularity. */
+    int numBlocks = 32;
+
+    /** Paper grid per FPGA count: 13x4 (1, Vitis), 13x8 (1, TAPA),
+     *  13x12 (2), 13x16 (3), 13x20 (4). */
+    static CnnConfig scaled(int numFpgas, bool vitisBaseline = false);
+};
+
+/** Paper Table 7: total inter-FPGA volume = 2.14 MB x cols / 4. */
+double cnnInterFpgaBytes(const CnnConfig &config);
+
+/** VGG conv3 arithmetic work per input (54.5 MFLOPs). */
+double cnnFlopsPerInput();
+
+/** Build the CNN design. */
+AppDesign buildCnn(const CnnConfig &config);
+
+} // namespace tapacs::apps
+
+#endif // TAPACS_APPS_CNN_HH

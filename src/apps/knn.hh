@@ -1,0 +1,61 @@
+/**
+ * @file
+ * K-nearest-neighbors benchmark (CHIP-KNN, paper sections 3 and 5.4).
+ *
+ * Phase 1 (blue): distance modules stream the dataset from HBM and
+ * compute the query-to-point distances — O(N*D) work and traffic.
+ * Phase 2 (yellow): per-partition top-K sorters — O(N*K).
+ * Phase 3 (green): one aggregator merges the partial top-K lists and
+ * writes the result — the inter-FPGA traffic therefore depends only
+ * on K, not on N or D.
+ *
+ * The single-FPGA design routes only with 256-bit ports and 32 KiB
+ * port buffers (13 blue + 13 yellow + 1 green = 27 modules); the
+ * optimal 512-bit / 128 KiB configuration overloads the HBM die and
+ * fails routing on one device — the motivating example of section 3.
+ * Multi-FPGA designs use 36 / 54 / 72 blue modules at the optimal
+ * port configuration.
+ */
+
+#ifndef TAPACS_APPS_KNN_HH
+#define TAPACS_APPS_KNN_HH
+
+#include "apps/app_design.hh"
+
+namespace tapacs::apps
+{
+
+/** Configuration of one KNN design point (paper Table 6). */
+struct KnnConfig
+{
+    /** Dataset size N (1M - 8M). */
+    std::int64_t n = 4'000'000;
+    /** Feature dimension D (2 - 128). */
+    int d = 2;
+    /** Neighbors K (10 in every paper experiment). */
+    int k = 10;
+    /** Distance-computation (blue) modules. */
+    int numBlue = 13;
+    /** HBM port width of the blue modules. */
+    int portWidthBits = 256;
+    /** AXI port burst-buffer size. */
+    Bytes portBufferBytes = 32_KiB;
+    /** HBM channels per blue module. */
+    int channelsPerBlue = 2;
+    /** Stream granularity. */
+    int numBlocks = 32;
+
+    /** Paper scaling: 1 FPGA = 13 blue / 256 b / 32 KiB / 2 ch;
+     *  2-4 FPGAs = 18 blue per FPGA at 512 b / 128 KiB / 1 ch. */
+    static KnnConfig scaled(std::int64_t n, int d, int numFpgas);
+};
+
+/** Search-space bytes N * D * sizeof(float) (8 MB - 4 GB, Table 6). */
+double knnSearchSpaceBytes(const KnnConfig &config);
+
+/** Build the KNN design. */
+AppDesign buildKnn(const KnnConfig &config);
+
+} // namespace tapacs::apps
+
+#endif // TAPACS_APPS_KNN_HH

@@ -1,0 +1,169 @@
+#include "apps/pagerank.hh"
+
+#include "common/logging.hh"
+
+namespace tapacs::apps
+{
+
+const std::vector<GraphDataset> &
+pagerankDatasets()
+{
+    // Paper Table 5.
+    static const std::vector<GraphDataset> datasets = {
+        {"web-BerkStan", 685230, 7600595},
+        {"soc-Slashdot0811", 77360, 905468},
+        {"web-Google", 875713, 5105039},
+        {"cit-Patents", 3774768, 16518948},
+        {"web-NotreDame", 325729, 1497134},
+    };
+    return datasets;
+}
+
+const GraphDataset &
+pagerankDataset(const std::string &name)
+{
+    for (const auto &d : pagerankDatasets()) {
+        if (d.name == name)
+            return d;
+    }
+    fatal("unknown PageRank dataset '%s'", name.c_str());
+}
+
+PageRankConfig
+PageRankConfig::scaled(const GraphDataset &dataset, int numFpgas)
+{
+    PageRankConfig c;
+    c.dataset = dataset;
+    c.numPes = 4 * numFpgas;
+    c.numShards = numFpgas;
+    return c;
+}
+
+AppDesign
+buildPageRank(const PageRankConfig &config)
+{
+    tapacs_assert(config.numPes >= 1 && config.numShards >= 1);
+    tapacs_assert(config.numPes % config.numShards == 0);
+    AppDesign app;
+    app.graph.setName(strprintf("pagerank-%s-p%d",
+                                config.dataset.name.c_str(),
+                                config.numPes));
+
+    const double edges = static_cast<double>(config.dataset.edges);
+    const double nodes = static_cast<double>(config.dataset.nodes);
+    const double iters = config.iterations;
+    const int blocks = config.iterations * config.blocksPerIteration;
+    const int pes = config.numPes;
+    const int shards = config.numShards;
+    const int pes_per_shard = pes / shards;
+
+    // The host pre-partitions the graph: each FPGA holds its edge
+    // shard in local HBM (paper section 5.3, "the input graph is
+    // preprocessed on the host and loaded onto the device HBM").
+    const double edge_stream_bytes = edges * 8.0;
+    const double update_bytes = nodes * 4.0;
+
+    // --- Controller (rank accumulation + convergence loop) ------------
+    WorkProfile ctrl_work;
+    ctrl_work.computeOps = nodes * iters * 2.0;
+    ctrl_work.opsPerCycle = 16.0;
+    ctrl_work.memWriteBytes = update_bytes * iters;
+    ctrl_work.memPortWidthBits = 512;
+    ctrl_work.memChannels = 2;
+    ctrl_work.numBlocks = blocks;
+    const VertexId controller =
+        app.graph.addVertex("controller", ResourceVector{}, ctrl_work);
+    app.totalOps += ctrl_work.computeOps;
+    app.totalMemBytes += ctrl_work.memWriteBytes;
+
+    hls::TaskIr ctrl_ir;
+    ctrl_ir.name = "controller";
+    ctrl_ir.fp32AddUnits = 16;
+    ctrl_ir.intAluUnits = 8;
+    ctrl_ir.fsmStates = 14;
+    ctrl_ir.localBufferBytes = 128_KiB;
+    ctrl_ir.bufferBanks = 8;
+    ctrl_ir.preferUram = true;
+    for (int c = 0; c < 2; ++c)
+        ctrl_ir.addMemPort(strprintf("m%d", c), 512, 8_KiB);
+    ctrl_ir.addStream("loop", 32, false);
+    app.tasks.push_back(ctrl_ir);
+
+    for (int s = 0; s < shards; ++s) {
+        // --- Per-shard vertex router: streams the local edge shard ----
+        WorkProfile router_work;
+        router_work.computeOps = edges / shards * iters * 2.0;
+        router_work.opsPerCycle = 64.0; // 512-bit demux, keeps pace
+        router_work.memReadBytes = edge_stream_bytes * iters / shards;
+        router_work.memPortWidthBits = 512;
+        router_work.memChannels = config.routerChannels;
+        router_work.numBlocks = blocks;
+        const VertexId router = app.graph.addVertex(
+            strprintf("router%d", s), ResourceVector{}, router_work);
+        app.totalOps += router_work.computeOps;
+        app.totalMemBytes += router_work.memReadBytes;
+
+        hls::TaskIr router_ir;
+        router_ir.name = strprintf("router%d", s);
+        router_ir.intAluUnits = 24;
+        router_ir.fsmStates = 12;
+        router_ir.localBufferBytes = 64_KiB;
+        router_ir.bufferBanks = 8;
+        for (int c = 0; c < config.routerChannels; ++c)
+            router_ir.addMemPort(strprintf("m%d", c), 512, 8_KiB);
+        app.tasks.push_back(router_ir);
+
+        // Next-iteration credit: the controller broadcasts the new
+        // rank vector back to every shard router.
+        EdgeId loop = app.graph.addEdge(
+            controller, router, 64,
+            update_bytes * iters / shards * 0.25);
+        app.graph.edge(loop).initialTokens = config.blocksPerIteration;
+
+        // --- Shard PEs -------------------------------------------------
+        for (int p = 0; p < pes_per_shard; ++p) {
+            WorkProfile pe_work;
+            pe_work.computeOps = edges / pes * iters * 4.0;
+            pe_work.opsPerCycle = 8.0;
+            pe_work.memReadBytes = update_bytes * iters / pes;
+            pe_work.memWriteBytes = update_bytes * iters / pes;
+            pe_work.memPortWidthBits = 256;
+            pe_work.memChannels = config.channelsPerPe;
+            pe_work.numBlocks = blocks;
+            const std::string name = strprintf("pe%d_%d", s, p);
+            const VertexId pe =
+                app.graph.addVertex(name, ResourceVector{}, pe_work);
+            app.totalOps += pe_work.computeOps;
+            app.totalMemBytes +=
+                pe_work.memReadBytes + pe_work.memWriteBytes;
+
+            hls::TaskIr pe_ir;
+            pe_ir.name = name;
+            pe_ir.fp32AddUnits = 4;
+            pe_ir.fp32MulUnits = 4;
+            pe_ir.intAluUnits = 8;
+            pe_ir.fsmStates = 10;
+            pe_ir.localBufferBytes = 96_KiB;
+            pe_ir.bufferBanks = 8;
+            for (int c = 0; c < config.channelsPerPe; ++c)
+                pe_ir.addMemPort(strprintf("m%d", c), 256, 8_KiB);
+            pe_ir.addStream("edges_in", 512, true);
+            pe_ir.addStream("updates_out", 64, false);
+            app.tasks.push_back(pe_ir);
+
+            // Wide local edge stream; compact global updates.
+            app.graph.addEdge(router, pe, 512,
+                              edge_stream_bytes * iters / pes);
+            app.graph.addEdge(pe, controller, 64,
+                              update_bytes * iters / pes * 0.25);
+        }
+    }
+
+    // Cross-FPGA traffic = compact rank updates in both directions:
+    // proportional to the dataset's node count and the iteration
+    // count, independent of the PE count (paper section 5.3).
+    app.expectedInterFpgaBytes = update_bytes * iters * 0.5;
+    return app;
+}
+
+} // namespace tapacs::apps

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * PageRank benchmark (paper section 5.3).
+ *
+ * Edge-centric PageRank after [47]/[25]: a vertex-router task streams
+ * edges from HBM to P processing elements, each PE computes and
+ * propagates weighted rank updates and stores them back to HBM, and a
+ * controller accumulates per-vertex ranks and closes the convergence
+ * loop (the dependency cycle back to the router). The paper scales
+ * P = 4 PEs per FPGA: 4 / 8 / 12 / 16 on 1-4 devices.
+ *
+ * Scaling characteristics the model reproduces: the inter-FPGA
+ * transfer volume depends only on the dataset (the edge stream),
+ * not on P; and once the router has started streaming, every PE —
+ * on any FPGA — runs in parallel, which is why PageRank scales
+ * superlinearly (Table 3: 2.64x / 4.28x / 5.98x).
+ */
+
+#ifndef TAPACS_APPS_PAGERANK_HH
+#define TAPACS_APPS_PAGERANK_HH
+
+#include <string>
+#include <vector>
+
+#include "apps/app_design.hh"
+
+namespace tapacs::apps
+{
+
+/** One input network (paper Table 5). */
+struct GraphDataset
+{
+    std::string name;
+    std::int64_t nodes = 0;
+    std::int64_t edges = 0;
+};
+
+/** The five SNAP networks of paper Table 5. */
+const std::vector<GraphDataset> &pagerankDatasets();
+
+/** Find a dataset by name; fatal() if unknown. */
+const GraphDataset &pagerankDataset(const std::string &name);
+
+/** Configuration of one PageRank design point. */
+struct PageRankConfig
+{
+    GraphDataset dataset;
+    /** Processing elements (4 per FPGA in the paper). */
+    int numPes = 4;
+    /** Graph shards (one per FPGA): each shard's edge list lives in
+     *  that device's HBM and feeds a local router. numPes must be a
+     *  multiple of numShards. */
+    int numShards = 1;
+    /** Convergence iterations simulated. */
+    int iterations = 10;
+    /** HBM channels for the edge-streaming router. */
+    int routerChannels = 15;
+    /** HBM channels per PE for intermediate updates. */
+    int channelsPerPe = 3;
+    /** Stream granularity per iteration. */
+    int blocksPerIteration = 4;
+
+    /** The paper's scaled configuration: 4 PEs per FPGA. */
+    static PageRankConfig scaled(const GraphDataset &dataset,
+                                 int numFpgas);
+};
+
+/** Build the PageRank design. */
+AppDesign buildPageRank(const PageRankConfig &config);
+
+} // namespace tapacs::apps
+
+#endif // TAPACS_APPS_PAGERANK_HH

@@ -1,0 +1,221 @@
+#include "apps/stencil.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tapacs::apps
+{
+
+StencilConfig
+StencilConfig::scaled(int iterations, int numFpgas)
+{
+    StencilConfig c;
+    c.iterations = iterations;
+    c.numFpgas = numFpgas;
+    if (iterations <= 128) {
+        // Memory-bound points: widen the HBM ports and use every
+        // channel; 15 PEs per FPGA.
+        c.totalPes = 15 * numFpgas;
+        c.hbmPortWidthBits = numFpgas > 1 ? 512 : 128;
+        c.channelsPerFpga = 32;
+    } else {
+        // Compute-bound points: grow the PE count (paper: 15 -> 30 /
+        // 60 / 90), ports stay at 128 bits.
+        static const int pes_by_fpgas[] = {15, 15, 30, 60, 90};
+        c.totalPes = pes_by_fpgas[std::min(numFpgas, 4)];
+        c.hbmPortWidthBits = 128;
+        c.channelsPerFpga = 32;
+    }
+    return c;
+}
+
+double
+stencilOpsPerByte(const StencilConfig &config)
+{
+    // Paper Table 4: 208 ops/byte at 64 iterations, linear in iters.
+    return 3.25 * config.iterations;
+}
+
+double
+stencilInterFpgaBytes(const StencilConfig &config)
+{
+    // Paper Table 4: 144.22 MB at 64 iterations, linear in iters
+    // (per FPGA-boundary volume; see also section 5.7).
+    return 144.22e6 / 64.0 * config.iterations;
+}
+
+AppDesign
+buildStencil(const StencilConfig &config)
+{
+    tapacs_assert(config.numFpgas >= 1);
+    tapacs_assert(config.totalPes >= config.numFpgas);
+
+    AppDesign app;
+    app.graph.setName(strprintf("stencil-dilate-i%d-f%d",
+                                config.iterations, config.numFpgas));
+
+    const double grid_points =
+        static_cast<double>(config.gridDim) * config.gridDim;
+    const double array_bytes = grid_points * 4.0;
+    const int pes = config.totalPes;
+    const int fpgas = config.numFpgas;
+    const int sweeps =
+        std::max(1, static_cast<int>(std::ceil(
+                        static_cast<double>(config.iterations) / pes)));
+    const int lanes = config.hbmPortWidthBits / 32;
+
+    // PE throughput: a 13-point window updates ~0.45 points per
+    // cycle. The paper's memory-bound scaling widens only the HBM
+    // interfaces — the PE datapath keeps its rate, so multi-FPGA
+    // speed-up comes from spreading the iteration chain over more
+    // PEs, not from faster individual PEs.
+    const double pts_per_cycle = 0.45;
+    const double ops_per_point = 13.0;
+
+    // Streaming granularity: PEs stream in fine blocks within a
+    // segment. The relays' hand-off granularity encodes the paper's
+    // observation about multi-FPGA execution: the compute-bound
+    // (128-bit) design stages a whole sweep in HBM before shipping
+    // it, serializing the FPGAs ("FPGA 2, 3, and 4 lie idle while
+    // their predecessor executes"), while the memory-bound (512-bit)
+    // design streams through its wide ports with little intermediate
+    // buffering.
+    const int blocks_per_sweep = 64;
+    const int relay_blocks_per_sweep =
+        config.hbmPortWidthBits >= 512 ? blocks_per_sweep : 1;
+    const int pe_blocks = sweeps * blocks_per_sweep;
+    const int relay_blocks = sweeps * relay_blocks_per_sweep;
+
+    const double ops_per_pe = ops_per_point * grid_points *
+                              config.iterations / pes;
+    app.totalOps = ops_per_point * grid_points * config.iterations;
+
+    // --- Reader (HBM -> chain) --------------------------------------
+    WorkProfile reader_work;
+    reader_work.computeOps = grid_points * sweeps * 0.05;
+    reader_work.opsPerCycle = lanes;
+    reader_work.memReadBytes = array_bytes * sweeps;
+    reader_work.memPortWidthBits = config.hbmPortWidthBits;
+    reader_work.memChannels = config.channelsPerFpga / 2;
+    reader_work.numBlocks = pe_blocks;
+    const VertexId reader =
+        app.graph.addVertex("reader", ResourceVector{}, reader_work);
+    app.totalMemBytes += reader_work.memReadBytes;
+
+    hls::TaskIr reader_ir;
+    reader_ir.name = "reader";
+    reader_ir.intAluUnits = lanes;
+    reader_ir.fsmStates = 6;
+    for (int c = 0; c < reader_work.memChannels; ++c) {
+        reader_ir.addMemPort(strprintf("m%d", c),
+                             config.hbmPortWidthBits, 8_KiB);
+    }
+    reader_ir.addStream("out", config.hbmPortWidthBits, false);
+    app.tasks.push_back(reader_ir);
+
+    // --- PE chain with relays at segment boundaries ------------------
+    VertexId prev = reader;
+    int prev_blocks = pe_blocks;
+    bool prev_is_relay = false;
+    const double relay_volume =
+        fpgas > 1 ? stencilInterFpgaBytes(config) : 0.0;
+
+    for (int p = 0; p < pes; ++p) {
+        const int seg = p * fpgas / pes; // segment of this PE
+        const int prev_seg = (p - 1) * fpgas / pes;
+        if (p > 0 && seg != prev_seg) {
+            // Segment boundary: a relay stages the intermediate array
+            // through local HBM and ships it to the next FPGA.
+            WorkProfile relay_work;
+            relay_work.computeOps = grid_points * sweeps * 0.02;
+            relay_work.opsPerCycle = lanes;
+            relay_work.memReadBytes = array_bytes * sweeps * 0.5;
+            relay_work.memWriteBytes = array_bytes * sweeps * 0.5;
+            relay_work.memPortWidthBits = config.hbmPortWidthBits;
+            relay_work.memChannels = 4;
+            relay_work.numBlocks = relay_blocks;
+            const VertexId relay = app.graph.addVertex(
+                strprintf("relay%d", seg), ResourceVector{}, relay_work);
+
+            hls::TaskIr relay_ir;
+            relay_ir.name = strprintf("relay%d", seg);
+            relay_ir.intAluUnits = lanes;
+            relay_ir.fsmStates = 8;
+            for (int c = 0; c < relay_work.memChannels; ++c) {
+                relay_ir.addMemPort(strprintf("m%d", c),
+                                    config.hbmPortWidthBits, 8_KiB);
+            }
+            relay_ir.addStream("in", config.hbmPortWidthBits, true);
+            relay_ir.addStream("out", config.hbmPortWidthBits, false);
+            app.tasks.push_back(relay_ir);
+
+            app.graph.addEdge(prev, relay, config.hbmPortWidthBits,
+                              relay_volume);
+            prev = relay;
+            prev_blocks = relay_blocks;
+            prev_is_relay = true;
+        }
+
+        WorkProfile pe_work;
+        pe_work.computeOps = ops_per_pe;
+        pe_work.opsPerCycle = ops_per_point * pts_per_cycle;
+        pe_work.numBlocks = pe_blocks;
+        const VertexId pe = app.graph.addVertex(strprintf("pe%d", p),
+                                                ResourceVector{}, pe_work);
+
+        hls::TaskIr pe_ir;
+        pe_ir.name = strprintf("pe%d", p);
+        pe_ir.fp32CmpUnits = 12 * lanes; // dilate = max over window
+        pe_ir.intAluUnits = lanes;
+        pe_ir.fsmStates = 10;
+        // Line buffer: 4 halo rows for the radius-2 window.
+        pe_ir.localBufferBytes =
+            static_cast<Bytes>(4) * config.gridDim * 4;
+        pe_ir.bufferBanks = std::max(1, lanes);
+        pe_ir.addStream("in", config.hbmPortWidthBits, true);
+        pe_ir.addStream("out", config.hbmPortWidthBits, false);
+        app.tasks.push_back(pe_ir);
+
+        tapacs_assert(pe_blocks % prev_blocks == 0 ||
+                      prev_blocks % pe_blocks == 0);
+        // A relay's outgoing stream is the (narrow) network hand-off —
+        // the natural min-cut point for the level-1 partitioner.
+        app.graph.addEdge(prev, pe,
+                          prev_is_relay ? 64 : config.hbmPortWidthBits,
+                          prev_is_relay ? relay_volume
+                                        : array_bytes * sweeps);
+        prev = pe;
+        prev_blocks = pe_blocks;
+        prev_is_relay = false;
+    }
+
+    // --- Writer (chain -> HBM) with the sweep wrap edge --------------
+    WorkProfile writer_work = reader_work;
+    writer_work.memReadBytes = 0.0;
+    writer_work.memWriteBytes = array_bytes * sweeps;
+    const VertexId writer =
+        app.graph.addVertex("writer", ResourceVector{}, writer_work);
+    app.totalMemBytes += writer_work.memWriteBytes;
+
+    hls::TaskIr writer_ir = reader_ir;
+    writer_ir.name = "writer";
+    writer_ir.streamPorts.clear();
+    writer_ir.addStream("in", config.hbmPortWidthBits, true);
+    app.tasks.push_back(writer_ir);
+
+    app.graph.addEdge(prev, writer, config.hbmPortWidthBits,
+                      array_bytes * sweeps);
+    // Wrap edge: sweep s+1 of the reader consumes the writer's sweep
+    // s output; the initial tokens are the input array itself.
+    EdgeId wrap = app.graph.addEdge(writer, reader, 64,
+                                    fpgas > 1 ? relay_volume
+                                              : array_bytes * sweeps);
+    app.graph.edge(wrap).initialTokens = blocks_per_sweep;
+
+    app.expectedInterFpgaBytes = relay_volume * std::max(0, fpgas - 1);
+    return app;
+}
+
+} // namespace tapacs::apps

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Stencil benchmark: the Rodinia "Dilate" kernel (paper section 5.2).
+ *
+ * A 2-D 13-point kernel over a 4096x4096 float grid, iterated 64-512
+ * times. The accelerator is a temporal pipeline: a chain of PEs, each
+ * applying one iteration per sweep, fed by an HBM reader and drained
+ * by an HBM writer. When P PEs chain together, ceil(I/P) sweeps move
+ * the whole array HBM -> PEs -> HBM. On F FPGAs the chain is built as
+ * F equal segments joined by bulk relay tasks: the relays hand over
+ * the full intermediate volume in one piece, which is what makes the
+ * multi-FPGA stencil execute *sequentially* (each FPGA idles while
+ * its predecessor runs — the scaling limit of section 5.2/5.7).
+ *
+ * Paper scaling rules:
+ *  - 64/128 iterations (memory-bound): widen HBM ports 128 -> 512
+ *    bits and use 32 channels per FPGA; PEs stay at 15 per FPGA.
+ *  - 256/512 iterations (compute-bound): grow PEs 15 -> 30/60/90,
+ *    port width stays 128.
+ */
+
+#ifndef TAPACS_APPS_STENCIL_HH
+#define TAPACS_APPS_STENCIL_HH
+
+#include "apps/app_design.hh"
+
+namespace tapacs::apps
+{
+
+/** Configuration of one stencil design point. */
+struct StencilConfig
+{
+    /** Grid edge length (points). */
+    int gridDim = 4096;
+    /** Stencil iterations to apply (64-512 in the paper). */
+    int iterations = 64;
+    /** Total PEs across the whole design. */
+    int totalPes = 15;
+    /** FPGA segments the chain is built for (1 = single device). */
+    int numFpgas = 1;
+    /** HBM port width in bits (128 baseline, 512 scaled). */
+    int hbmPortWidthBits = 128;
+    /** HBM channels used per segment, split between reader/writer. */
+    int channelsPerFpga = 32;
+    /** Streaming granularity within a segment. */
+    int numBlocks = 64;
+
+    /** The paper's scaled configuration for a given FPGA count and
+     *  iteration count (section 5.2 rules above). */
+    static StencilConfig scaled(int iterations, int numFpgas);
+};
+
+/** Paper Table 4: compute intensity in ops per external-memory byte
+ *  (optimal reuse), = 3.25 x iterations. */
+double stencilOpsPerByte(const StencilConfig &config);
+
+/** Paper Table 4: per-boundary inter-FPGA transfer volume in bytes,
+ *  = 144.22 MB x iterations / 64. */
+double stencilInterFpgaBytes(const StencilConfig &config);
+
+/** Build the stencil design. */
+AppDesign buildStencil(const StencilConfig &config);
+
+} // namespace tapacs::apps
+
+#endif // TAPACS_APPS_STENCIL_HH

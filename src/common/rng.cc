@@ -1,0 +1,110 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tapacs
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t s = seed;
+    for (auto &w : state_)
+        w = splitmix64(s);
+}
+
+Rng::result_type
+Rng::operator()()
+{
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t
+Rng::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    tapacs_assert(lo <= hi);
+    const std::uint64_t range = hi - lo;
+    if (range == ~0ull)
+        return (*this)();
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t span = range + 1;
+    const std::uint64_t limit = (~0ull) - ((~0ull) % span);
+    std::uint64_t v;
+    do {
+        v = (*this)();
+    } while (v > limit && limit != ~0ull);
+    return lo + (v % span);
+}
+
+double
+Rng::uniformReal()
+{
+    // 53 high-quality mantissa bits.
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniformReal();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniformReal() < p;
+}
+
+std::uint64_t
+Rng::powerLawInt(std::uint64_t lo, std::uint64_t hi, double alpha)
+{
+    tapacs_assert(lo >= 1 && lo <= hi && alpha > 1.0);
+    const double u = uniformReal();
+    const double l = static_cast<double>(lo);
+    const double h = static_cast<double>(hi) + 1.0;
+    const double one_minus_a = 1.0 - alpha;
+    // Inverse-CDF sampling of a truncated continuous power law,
+    // floored to an integer.
+    const double x = std::pow(
+        u * (std::pow(h, one_minus_a) - std::pow(l, one_minus_a)) +
+            std::pow(l, one_minus_a),
+        1.0 / one_minus_a);
+    std::uint64_t v = static_cast<std::uint64_t>(x);
+    if (v < lo)
+        v = lo;
+    if (v > hi)
+        v = hi;
+    return v;
+}
+
+} // namespace tapacs

@@ -1,0 +1,90 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace tapacs
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    tapacs_assert(!headers_.empty());
+}
+
+void
+TextTable::setTitle(std::string title)
+{
+    title_ = std::move(title);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    tapacs_assert(cells.size() == headers_.size());
+    rows_.push_back(std::move(cells));
+    ++numDataRows_;
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto renderRule = [&]() {
+        std::string line = "+";
+        for (size_t w : widths)
+            line += std::string(w + 2, '-') + "+";
+        line += "\n";
+        return line;
+    };
+    auto renderRow = [&](const std::vector<std::string> &cells) {
+        std::string line = "|";
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            line += " " + cell + std::string(widths[c] - cell.size(), ' ') +
+                    " |";
+        }
+        line += "\n";
+        return line;
+    };
+
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+    out += renderRule();
+    out += renderRow(headers_);
+    out += renderRule();
+    for (const auto &row : rows_) {
+        if (row.empty())
+            out += renderRule();
+        else
+            out += renderRow(row);
+    }
+    out += renderRule();
+    return out;
+}
+
+void
+TextTable::print() const
+{
+    std::string body = render();
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    std::fflush(stdout);
+}
+
+} // namespace tapacs

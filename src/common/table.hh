@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harnesses.
+ *
+ * Every bench binary prints the paper's table/figure rows next to the
+ * values our models measure; a single renderer keeps that output
+ * uniform and diffable across runs.
+ */
+
+#ifndef TAPACS_COMMON_TABLE_HH
+#define TAPACS_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace tapacs
+{
+
+/**
+ * Column-aligned text table with an optional title and header row.
+ */
+class TextTable
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Set a title rendered above the table. */
+    void setTitle(std::string title);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator between row groups. */
+    void addSeparator();
+
+    /** Number of data rows added so far (separators excluded). */
+    size_t rowCount() const { return numDataRows_; }
+
+    /** Render the table to a string, ready for printing. */
+    std::string render() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    // A row with zero cells encodes a separator.
+    std::vector<std::vector<std::string>> rows_;
+    size_t numDataRows_ = 0;
+};
+
+} // namespace tapacs
+
+#endif // TAPACS_COMMON_TABLE_HH

@@ -1,0 +1,52 @@
+#include "common/units.hh"
+
+#include "common/logging.hh"
+
+namespace tapacs
+{
+
+std::string
+formatBytes(double bytes)
+{
+    static const char *suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+    int idx = 0;
+    double v = bytes;
+    while (v >= 1024.0 && idx < 4) {
+        v /= 1024.0;
+        ++idx;
+    }
+    return strprintf("%.2f %s", v, suffixes[idx]);
+}
+
+std::string
+formatBandwidth(BytesPerSecond bps)
+{
+    static const char *suffixes[] = {"B/s", "KB/s", "MB/s", "GB/s", "TB/s"};
+    int idx = 0;
+    double v = bps;
+    while (v >= 1000.0 && idx < 4) {
+        v /= 1000.0;
+        ++idx;
+    }
+    return strprintf("%.2f %s", v, suffixes[idx]);
+}
+
+std::string
+formatSeconds(Seconds s)
+{
+    if (s < 1.0e-6)
+        return strprintf("%.1f ns", s * 1.0e9);
+    if (s < 1.0e-3)
+        return strprintf("%.2f us", s * 1.0e6);
+    if (s < 1.0)
+        return strprintf("%.2f ms", s * 1.0e3);
+    return strprintf("%.3f s", s);
+}
+
+std::string
+formatFrequency(Hertz hz)
+{
+    return strprintf("%.0f MHz", hz / 1.0e6);
+}
+
+} // namespace tapacs

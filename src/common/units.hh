@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Strong-ish unit helpers for sizes, bandwidths, times and frequencies.
+ *
+ * The simulator and network models constantly convert between bytes,
+ * bits, seconds and cycles; keeping the conversions in one place avoids
+ * the classic GB-vs-GiB and Gbps-vs-GBps mistakes the paper's numbers
+ * are sensitive to (e.g. 100 Gbps Ethernet vs 460 GBps HBM).
+ */
+
+#ifndef TAPACS_COMMON_UNITS_HH
+#define TAPACS_COMMON_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace tapacs
+{
+
+/** Bytes as a plain integral count. */
+using Bytes = std::uint64_t;
+
+/** Simulated wall-clock time in seconds. */
+using Seconds = double;
+
+/** Clock frequency in hertz. */
+using Hertz = double;
+
+/** Bandwidth in bytes per second. */
+using BytesPerSecond = double;
+
+constexpr Bytes operator""_KiB(unsigned long long v) { return v << 10; }
+constexpr Bytes operator""_MiB(unsigned long long v) { return v << 20; }
+constexpr Bytes operator""_GiB(unsigned long long v) { return v << 30; }
+
+/** Decimal kilo/mega/giga bytes (used by link-rate math). */
+constexpr Bytes operator""_KB(unsigned long long v) { return v * 1000ull; }
+constexpr Bytes operator""_MB(unsigned long long v)
+{
+    return v * 1000ull * 1000ull;
+}
+constexpr Bytes operator""_GB(unsigned long long v)
+{
+    return v * 1000ull * 1000ull * 1000ull;
+}
+
+constexpr Hertz operator""_MHz(unsigned long long v) { return v * 1.0e6; }
+constexpr Hertz operator""_MHz(long double v)
+{
+    return static_cast<double>(v) * 1.0e6;
+}
+constexpr Hertz operator""_GHz(long double v)
+{
+    return static_cast<double>(v) * 1.0e9;
+}
+
+/** Convert a link rate expressed in Gbits/s to bytes/s. */
+constexpr BytesPerSecond
+gbpsToBytesPerSec(double gbps)
+{
+    return gbps * 1.0e9 / 8.0;
+}
+
+/** Convert a memory rate expressed in GBytes/s to bytes/s. */
+constexpr BytesPerSecond
+gBytesPerSecToBytesPerSec(double gigabytes_per_sec)
+{
+    return gigabytes_per_sec * 1.0e9;
+}
+
+constexpr Seconds operator""_us(unsigned long long v)
+{
+    return static_cast<double>(v) * 1.0e-6;
+}
+constexpr Seconds operator""_ns(unsigned long long v)
+{
+    return static_cast<double>(v) * 1.0e-9;
+}
+constexpr Seconds operator""_ms(long double v)
+{
+    return static_cast<double>(v) * 1.0e-3;
+}
+
+/** Render a byte count with a binary-prefix unit, e.g. "144.22 MiB". */
+std::string formatBytes(double bytes);
+
+/** Render a bandwidth in the most readable decimal unit. */
+std::string formatBandwidth(BytesPerSecond bps);
+
+/** Render a time span with an adaptive unit (ns/us/ms/s). */
+std::string formatSeconds(Seconds s);
+
+/** Render a frequency in MHz, e.g. "300 MHz". */
+std::string formatFrequency(Hertz hz);
+
+} // namespace tapacs
+
+#endif // TAPACS_COMMON_UNITS_HH

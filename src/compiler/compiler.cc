@@ -1,0 +1,254 @@
+#include "compiler/compiler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "network/link.hh"
+
+namespace tapacs
+{
+
+namespace
+{
+
+/**
+ * The Vitis stand-in placement: no chip-level view, tasks packed
+ * into slots in program order, moving on only when a slot is full.
+ * This concentrates logic (and every HBM-adjacent module) in the
+ * lower slots — the congestion pattern the motivating example of
+ * the paper describes.
+ */
+SlotPlacement
+naivePackedPlacement(const TaskGraph &g, const DeviceModel &dev,
+                     const DevicePartition &partition)
+{
+    SlotPlacement out;
+    out.slotOf.assign(g.numVertices(), SlotCoord{0, 0});
+    std::vector<ResourceVector> used(dev.numSlots());
+    std::vector<int> cursor(64, 0); // per device
+
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const DeviceId d = partition.deviceOf[v];
+        tapacs_assert(d < static_cast<int>(cursor.size()));
+        int s = cursor[d];
+        while (s + 1 < dev.numSlots()) {
+            ResourceVector after = used[s];
+            after += g.vertex(v).area;
+            // Vitis's packer moves on once a region is well filled —
+            // but it has no global view, so earlier slots end up far
+            // more congested than a balanced floorplan would allow.
+            if (after.maxUtilization(dev.slots()[s].capacity) <= 0.60)
+                break;
+            ++s;
+        }
+        cursor[d] = s;
+        used[s] += g.vertex(v).area;
+        out.slotOf[v] = dev.slots()[s].coord;
+    }
+    return out;
+}
+
+/** Round-robin HBM binding with no placement awareness (Vitis). */
+HbmBinding
+naiveBinding(const TaskGraph &g, const Cluster &cluster,
+             const DevicePartition &partition)
+{
+    const int channels = cluster.device().memory().channels;
+    HbmBinding out;
+    out.channelsOf.assign(g.numVertices(), {});
+    out.usersPerChannel.assign(cluster.numDevices(),
+                               std::vector<int>(channels, 0));
+    std::vector<int> next(cluster.numDevices(), 0);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const DeviceId d = partition.deviceOf[v];
+        for (int k = 0; k < g.vertex(v).work.memChannels; ++k) {
+            const int c = next[d]++ % channels;
+            out.channelsOf[v].push_back(c);
+            ++out.usersPerChannel[d][c];
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const char *
+toString(CompileMode mode)
+{
+    switch (mode) {
+      case CompileMode::VitisBaseline: return "F1-V (Vitis HLS)";
+      case CompileMode::TapaSingle: return "F1-T (TAPA/AutoBridge)";
+      case CompileMode::TapaCs: return "TAPA-CS";
+    }
+    return "?";
+}
+
+ResourceVector
+networkIpArea(const DeviceModel &device, int ports)
+{
+    const NetworkIpOverhead oh;
+    const ResourceVector &total = device.totalResources();
+    ResourceVector area;
+    area[ResourceKind::Lut] = total[ResourceKind::Lut] * oh.lutFrac;
+    area[ResourceKind::Ff] = total[ResourceKind::Ff] * oh.ffFrac;
+    area[ResourceKind::Bram] = total[ResourceKind::Bram] * oh.bramFrac;
+    area[ResourceKind::Dsp] = total[ResourceKind::Dsp] * oh.dspFrac;
+    area[ResourceKind::Uram] = total[ResourceKind::Uram] * oh.uramFrac;
+    area *= static_cast<double>(ports);
+    return area;
+}
+
+CompileResult
+compile(const TaskGraph &g, const Cluster &cluster,
+        const CompileOptions &options,
+        const std::vector<Hertz> &fmaxCeiling)
+{
+    g.validate();
+    CompileResult out;
+    out.mode = options.mode;
+
+    const bool multi = options.mode == CompileMode::TapaCs &&
+                       options.numFpgas > 1;
+    const int fpgas = multi ? options.numFpgas : 1;
+    if (fpgas > cluster.numDevices())
+        fatal("compile: requested %d FPGAs but the cluster has %d",
+              fpgas, cluster.numDevices());
+
+    const DeviceModel &dev = cluster.device();
+    out.reservedPerDevice =
+        (multi && options.addNetworkOverhead)
+            ? networkIpArea(dev, options.networkPorts)
+            : ResourceVector{};
+
+    // ---- Mode-specific fit gate ------------------------------------
+    const ResourceVector total_area = g.totalArea();
+    if (options.mode == CompileMode::VitisBaseline) {
+        const double util = total_area.maxUtilization(dev.totalResources());
+        if (util > options.vitisRoutableUtil) {
+            out.failureReason = strprintf(
+                "Vitis routing failure: device utilization %.1f%% "
+                "exceeds the un-floorplanned routable limit %.1f%%",
+                util * 100.0, options.vitisRoutableUtil * 100.0);
+            return out;
+        }
+    }
+    if (!multi && dev.memory().channels > 0) {
+        // Single-device flows are bounded by the physical channel
+        // count (e.g. 32 HBM channels on the U55C) — the hard limit
+        // the paper's scaled KNN configuration exceeds.
+        int total_ch = 0;
+        for (const auto &v : g.vertices())
+            total_ch += v.work.memChannels;
+        if (total_ch > dev.memory().channels) {
+            out.failureReason = strprintf(
+                "design binds %d memory channels but the device exposes "
+                "only %d", total_ch, dev.memory().channels);
+            return out;
+        }
+    }
+
+    // ---- Step 3: inter-FPGA floorplanning (eq. 1-3) -----------------
+    if (multi) {
+        InterFpgaOptions inter = options.inter;
+        inter.threshold = options.threshold;
+        inter.reserved = out.reservedPerDevice;
+        inter.seed = options.seed;
+        inter.channelsPerDevice = dev.memory().channels;
+        InterFpgaResult l1 = floorplanInterFpga(g, cluster, inter);
+        if (!l1.feasible) {
+            out.failureReason = strprintf(
+                "no threshold-feasible partition on %d FPGA(s)", fpgas);
+            return out;
+        }
+        out.partition = l1.partition;
+        out.l1Seconds = l1.elapsedSeconds;
+        out.cutTrafficBytes = l1.cutTrafficBytes;
+    } else {
+        // Single device: the fit gate for the TAPA modes is the same
+        // threshold the floorplanner would enforce.
+        if (options.mode != CompileMode::VitisBaseline) {
+            ResourceVector need = total_area;
+            need += out.reservedPerDevice;
+            const double util = need.maxUtilization(dev.totalResources());
+            if (util > options.threshold) {
+                out.failureReason = strprintf(
+                    "design utilization %.1f%% exceeds threshold %.1f%% "
+                    "on a single device", util * 100.0,
+                    options.threshold * 100.0);
+                return out;
+            }
+        }
+        out.partition.deviceOf.assign(g.numVertices(), 0);
+    }
+
+    // ---- Step 5: intra-FPGA floorplanning (eq. 4) -------------------
+    if (options.mode == CompileMode::VitisBaseline) {
+        out.placement = naivePackedPlacement(g, dev, out.partition);
+    } else {
+        IntraFpgaOptions intra = options.intra;
+        intra.threshold = options.threshold;
+        intra.reserved = out.reservedPerDevice;
+        intra.seed = options.seed;
+        IntraFpgaResult l2 =
+            floorplanIntraFpga(g, cluster, out.partition, intra);
+        out.placement = l2.placement;
+        out.l2Seconds = l2.elapsedSeconds;
+    }
+
+    // ---- HBM channel binding ---------------------------------------
+    out.binding =
+        options.mode == CompileMode::VitisBaseline
+            ? naiveBinding(g, cluster, out.partition)
+            : bindHbmChannels(g, cluster, out.partition, out.placement);
+
+    // ---- Step 6: interconnect pipelining ----------------------------
+    PipelineOptions popt = options.pipeline;
+    if (options.mode == CompileMode::VitisBaseline &&
+        !options.vitisPrePipelined) {
+        // HLS without a placement view under-pipelines: no stages.
+        popt.stagesPerCrossing = 0;
+        popt.balanceReconvergent = false;
+    }
+    out.pipeline =
+        planPipelining(g, cluster, out.partition, out.placement, popt);
+
+    // ---- Step 7 stand-in: timing closure ----------------------------
+    out.timing = estimateTiming(g, cluster, out.partition, out.placement,
+                                out.pipeline, fmaxCeiling,
+                                out.reservedPerDevice, options.timing,
+                                &out.binding);
+    if (!out.timing.allRoutable) {
+        for (const auto &dt : out.timing.perDevice) {
+            if (!dt.routable) {
+                out.failureReason = dt.critical;
+                break;
+            }
+        }
+        return out;
+    }
+
+    out.routable = true;
+    out.fmax = out.timing.designFmax;
+    out.deviceFmax.resize(cluster.numDevices());
+    for (DeviceId d = 0; d < cluster.numDevices(); ++d)
+        out.deviceFmax[d] = out.timing.perDevice[d].fmax;
+    out.deviceAreas = perDeviceArea(g, cluster, out.partition);
+    return out;
+}
+
+CompileResult
+compileProgram(TaskGraph &g, const std::vector<hls::TaskIr> &tasks,
+               const Cluster &cluster, const CompileOptions &options)
+{
+    hls::ProgramSynthesis synth = hls::synthesizeAll(tasks);
+    hls::applySynthesis(g, synth);
+    std::vector<Hertz> ceilings(g.numVertices(), 340.0e6);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const hls::SynthesisResult *r = synth.find(g.vertex(v).name);
+        if (r)
+            ceilings[v] = r->fmaxCeiling;
+    }
+    return compile(g, cluster, options, ceilings);
+}
+
+} // namespace tapacs

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The TAPA-CS compiler: the seven-step flow of paper section 4.2.
+ *
+ *  1. task-graph construction     (done by the caller / app builder)
+ *  2. parallel synthesis          (hls::synthesizeAll)
+ *  3. inter-FPGA floorplanning    (floorplanInterFpga, eq. 1-3)
+ *  4. communication logic insert  (AlveoLink IP overhead reservation)
+ *  5. intra-FPGA floorplanning    (floorplanIntraFpga, eq. 4 + HBM)
+ *  6. interconnect pipelining     (planPipelining + balancing)
+ *  7. bitstream generation        (modeled by the timing estimate)
+ *
+ * Besides the full flow, the compiler implements the two baselines
+ * of the evaluation:
+ *  - F1-V (Vitis HLS): single FPGA, no global floorplanning — tasks
+ *    are packed slot by slot without a chip-level view — and no
+ *    interconnect pipelining. Routing gives up at a much lower
+ *    device utilization (the paper's 13x4-routable/13x8-failing CNN).
+ *  - F1-T (TAPA/AutoBridge): single FPGA with intra-FPGA
+ *    floorplanning and pipelining.
+ */
+
+#ifndef TAPACS_COMPILER_COMPILER_HH
+#define TAPACS_COMPILER_COMPILER_HH
+
+#include <vector>
+
+#include "floorplan/hbm_binding.hh"
+#include "floorplan/inter_fpga.hh"
+#include "floorplan/intra_fpga.hh"
+#include "hls/synthesis.hh"
+#include "pipeline/pipelining.hh"
+#include "timing/frequency.hh"
+
+namespace tapacs
+{
+
+/** Which flow to run. */
+enum class CompileMode
+{
+    VitisBaseline, ///< F1-V: 1 FPGA, no floorplan, no pipelining
+    TapaSingle,    ///< F1-T: 1 FPGA, intra floorplan + pipelining
+    TapaCs,        ///< full multi-FPGA flow
+};
+
+const char *toString(CompileMode mode);
+
+/** Options for one compilation. */
+struct CompileOptions
+{
+    CompileMode mode = CompileMode::TapaCs;
+    /** Devices to target (forced to 1 for the baseline modes). */
+    int numFpgas = 1;
+    /** Intra-node wiring (the paper's testbed uses rings of 4). */
+    TopologyKind topology = TopologyKind::Ring;
+    /** Utilization threshold T of eq. 1 (TAPA-CS / TAPA modes). */
+    double threshold = 0.70;
+    /** Device-level utilization above which the un-floorplanned
+     *  Vitis flow fails routing (see Table 8: 13x8 at 49 % DSP does
+     *  not route). */
+    double vitisRoutableUtil = 0.45;
+    /** Reserve the AlveoLink IP resources on every device when more
+     *  than one FPGA is used. */
+    bool addNetworkOverhead = true;
+    /** QSFP28 ports driven per board (ring cabling uses both). */
+    int networkPorts = 2;
+    /**
+     * Set for designs whose RTL already arrives fully registered
+     * (e.g. AutoSA systolic arrays): the Vitis baseline then keeps
+     * the interconnect pipelining instead of dropping it — this is
+     * why the paper's CNN hits 300 MHz even under plain Vitis while
+     * the irregular designs do not.
+     */
+    bool vitisPrePipelined = false;
+    std::uint64_t seed = 1;
+
+    InterFpgaOptions inter;
+    IntraFpgaOptions intra;
+    PipelineOptions pipeline;
+    TimingOptions timing;
+};
+
+/** Everything the flow produced. */
+struct CompileResult
+{
+    CompileMode mode = CompileMode::TapaCs;
+    /** False when the design does not fit / route in this mode. */
+    bool routable = false;
+    /** Why routing failed (empty when routable). */
+    std::string failureReason;
+
+    DevicePartition partition;
+    SlotPlacement placement;
+    HbmBinding binding;
+    PipelinePlan pipeline;
+    TimingResult timing;
+
+    /** Design clock (min over devices). */
+    Hertz fmax = 0.0;
+    /** Per-device clock, for the simulator. */
+    std::vector<Hertz> deviceFmax;
+
+    /** Floorplanning runtimes (the paper's L1/L2 overheads). */
+    double l1Seconds = 0.0;
+    double l2Seconds = 0.0;
+
+    /** Resources reserved per device for the networking IPs. */
+    ResourceVector reservedPerDevice;
+    /** Area placed on each device (graph vertices only). */
+    std::vector<ResourceVector> deviceAreas;
+    /** Bytes crossing device boundaries per run. */
+    double cutTrafficBytes = 0.0;
+};
+
+/**
+ * Run one compilation.
+ *
+ * @param g the task graph; vertex areas must be set (run
+ *        hls::synthesizeAll + applySynthesis first, or use
+ *        compileProgram below).
+ * @param cluster the target cluster; must have >= options.numFpgas
+ *        devices for TapaCs mode.
+ * @param fmaxCeiling optional per-vertex intrinsic fmax from
+ *        synthesis.
+ */
+CompileResult compile(const TaskGraph &g, const Cluster &cluster,
+                      const CompileOptions &options,
+                      const std::vector<Hertz> &fmaxCeiling = {});
+
+/**
+ * Convenience: synthesize the task IRs (step 2), stamp the areas onto
+ * the graph, then compile. The per-task fmax ceilings from synthesis
+ * feed the timing model.
+ */
+CompileResult compileProgram(TaskGraph &g,
+                             const std::vector<hls::TaskIr> &tasks,
+                             const Cluster &cluster,
+                             const CompileOptions &options);
+
+/** AlveoLink IP resources per board given the port count (paper
+ *  section 5.6 overhead percentages applied to the device totals). */
+ResourceVector networkIpArea(const DeviceModel &device, int ports);
+
+} // namespace tapacs
+
+#endif // TAPACS_COMPILER_COMPILER_HH

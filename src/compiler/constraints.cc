@@ -1,0 +1,101 @@
+#include "compiler/constraints.hh"
+
+#include "common/logging.hh"
+
+namespace tapacs
+{
+
+namespace
+{
+
+/** pblock name for a slot, SLR-style. */
+std::string
+pblockName(const SlotCoord &c)
+{
+    return strprintf("pblock_X%dY%d", c.col, c.row);
+}
+
+} // namespace
+
+std::string
+emitConstraintsTcl(const TaskGraph &g, const Cluster &cluster,
+                   const CompileResult &result, DeviceId device)
+{
+    tapacs_assert(result.routable);
+    tapacs_assert(device >= 0 && device < cluster.numDevices());
+    const DeviceModel &dev = cluster.device();
+
+    std::string out;
+    out += strprintf("# TAPA-CS floorplan constraints — device %d "
+                     "(%s)\n", device, dev.name().c_str());
+    out += strprintf("# target clock: %s\n\n",
+                     formatFrequency(result.deviceFmax[device]).c_str());
+
+    // One pblock per slot.
+    for (const Slot &slot : dev.slots()) {
+        out += strprintf("create_pblock %s\n",
+                         pblockName(slot.coord).c_str());
+        out += strprintf(
+            "resize_pblock %s -add SLR%d:X%d\n",
+            pblockName(slot.coord).c_str(), slot.die, slot.coord.col);
+    }
+    out += "\n";
+
+    // Pin every task of this device into its slot.
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (result.partition.deviceOf[v] != device)
+            continue;
+        out += strprintf(
+            "add_cells_to_pblock %s [get_cells -hier %s]\n",
+            pblockName(result.placement.slotOf[v]).c_str(),
+            g.vertex(v).name.c_str());
+    }
+    out += "\n";
+
+    // HBM channel bindings (sp tags in the Vitis link config).
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (result.partition.deviceOf[v] != device)
+            continue;
+        const auto &channels = result.binding.channelsOf[v];
+        for (size_t port = 0; port < channels.size(); ++port) {
+            out += strprintf("# sp=%s.m_axi_%zu:HBM[%d]\n",
+                             g.vertex(v).name.c_str(), port,
+                             channels[port]);
+        }
+    }
+    return out;
+}
+
+std::string
+emitClusterManifest(const TaskGraph &g, const Cluster &cluster,
+                    const CompileResult &result)
+{
+    tapacs_assert(result.routable);
+    std::string out;
+    out += strprintf("cluster devices=%d nodes=%d topology=%s\n",
+                     cluster.numDevices(), cluster.numNodes(),
+                     toString(cluster.nodeTopology().kind()));
+    for (DeviceId d = 0; d < cluster.numDevices(); ++d) {
+        int tasks = 0;
+        for (VertexId v = 0; v < g.numVertices(); ++v)
+            tasks += result.partition.deviceOf[v] == d ? 1 : 0;
+        out += strprintf("device %d node=%d tasks=%d clock=%s\n", d,
+                         cluster.nodeOf(d), tasks,
+                         formatFrequency(result.deviceFmax[d]).c_str());
+    }
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        const DeviceId a = result.partition.deviceOf[edge.src];
+        const DeviceId b = result.partition.deviceOf[edge.dst];
+        if (a == b)
+            continue;
+        out += strprintf(
+            "stream %s->%s dev%d->dev%d width=%d %s\n",
+            g.vertex(edge.src).name.c_str(),
+            g.vertex(edge.dst).name.c_str(), a, b, edge.widthBits,
+            cluster.sameNode(a, b) ? "via=alveolink" : "via=host-mpi");
+    }
+    return out;
+}
+
+} // namespace tapacs

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Floorplan constraint emission (paper section 4.2, step 7).
+ *
+ * The real TAPA-CS hands its floorplanning decisions back to the
+ * vendor CAD stack as placement constraints: one Tcl script per FPGA
+ * that creates a pblock per slot, pins each module instance into its
+ * slot, and binds kernel AXI ports to HBM channels; plus a cluster
+ * manifest describing which bitstream goes to which card and how the
+ * inter-FPGA streams are wired. This module generates exactly those
+ * artifacts from a CompileResult, so a downstream user could carry
+ * the flow into a real Vitis run.
+ */
+
+#ifndef TAPACS_COMPILER_CONSTRAINTS_HH
+#define TAPACS_COMPILER_CONSTRAINTS_HH
+
+#include <string>
+
+#include "compiler/compiler.hh"
+#include "graph/task_graph.hh"
+#include "network/cluster.hh"
+
+namespace tapacs
+{
+
+/**
+ * Render the placement-constraint Tcl for one device: pblock
+ * definitions for every slot, `add_cells_to_pblock` lines pinning
+ * each task of that device, and `sp_tag` HBM bindings for its memory
+ * ports.
+ *
+ * @param g the compiled task graph.
+ * @param cluster the target cluster.
+ * @param result a routable compilation result.
+ * @param device which device's constraints to render.
+ */
+std::string emitConstraintsTcl(const TaskGraph &g, const Cluster &cluster,
+                               const CompileResult &result,
+                               DeviceId device);
+
+/**
+ * Render the cluster manifest: device list, topology, per-device
+ * clock, and one line per inter-FPGA stream (source/destination
+ * device and port assignment) — what the host launcher consumes.
+ */
+std::string emitClusterManifest(const TaskGraph &g,
+                                const Cluster &cluster,
+                                const CompileResult &result);
+
+} // namespace tapacs
+
+#endif // TAPACS_COMPILER_CONSTRAINTS_HH

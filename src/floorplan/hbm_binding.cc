@@ -1,0 +1,93 @@
+#include "floorplan/hbm_binding.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace tapacs
+{
+
+int
+HbmBinding::maxContention(DeviceId d) const
+{
+    tapacs_assert(d >= 0 && d < static_cast<int>(usersPerChannel.size()));
+    int worst = 0;
+    for (int users : usersPerChannel[d])
+        worst = std::max(worst, users);
+    return worst;
+}
+
+int
+channelColumn(const DeviceModel &device, int channel)
+{
+    const int channels = device.memory().channels;
+    tapacs_assert(channels > 0 && channel >= 0 && channel < channels);
+    const int per_col = (channels + device.cols() - 1) / device.cols();
+    return std::min(channel / per_col, device.cols() - 1);
+}
+
+HbmBinding
+bindHbmChannels(const TaskGraph &g, const Cluster &cluster,
+                const DevicePartition &partition,
+                const SlotPlacement &placement)
+{
+    const DeviceModel &dev = cluster.device();
+    const int channels = dev.memory().channels;
+
+    HbmBinding out;
+    out.channelsOf.assign(g.numVertices(), {});
+    out.usersPerChannel.assign(cluster.numDevices(),
+                               std::vector<int>(channels, 0));
+
+    for (DeviceId d = 0; d < cluster.numDevices(); ++d) {
+        // Memory-using tasks on this device, in slot-column order so
+        // nearest-channel grants do not cross each other.
+        std::vector<VertexId> users;
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            if (partition.deviceOf[v] == d &&
+                g.vertex(v).work.memChannels > 0) {
+                users.push_back(v);
+            }
+        }
+        std::stable_sort(users.begin(), users.end(),
+                         [&](VertexId a, VertexId b) {
+                             return placement.slotOf[a].col <
+                                    placement.slotOf[b].col;
+                         });
+
+        auto &load = out.usersPerChannel[d];
+        for (VertexId v : users) {
+            const int want = g.vertex(v).work.memChannels;
+            const int col = placement.slotOf[v].col;
+            for (int k = 0; k < want; ++k) {
+                // Least-loaded channel; ties broken by distance to
+                // the task's column, then by index (determinism).
+                int best = -1;
+                for (int c = 0; c < channels; ++c) {
+                    if (best < 0) {
+                        best = c;
+                        continue;
+                    }
+                    const int dcost =
+                        std::abs(channelColumn(dev, c) - col);
+                    const int bcost =
+                        std::abs(channelColumn(dev, best) - col);
+                    if (load[c] < load[best] ||
+                        (load[c] == load[best] && dcost < bcost)) {
+                        best = c;
+                    }
+                }
+                tapacs_assert(best >= 0);
+                ++load[best];
+                out.channelsOf[v].push_back(best);
+                out.displacementCost +=
+                    std::abs(channelColumn(dev, best) - col);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace tapacs

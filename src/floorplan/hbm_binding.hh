@@ -1,0 +1,61 @@
+/**
+ * @file
+ * HBM channel binding (paper section 4.5).
+ *
+ * All HBM channels of a U55C surface in the bottom die; binding a
+ * kernel port to a channel on the far side of the die drags long
+ * routes through the congested bottom row and can fail routing.
+ * TAPA-CS explores channel bindings automatically: each memory-using
+ * task gets the channels physically nearest its placed slot, demand
+ * permitting, and contention (several tasks on one channel) is made
+ * explicit so the simulator can derate the per-channel bandwidth.
+ */
+
+#ifndef TAPACS_FLOORPLAN_HBM_BINDING_HH
+#define TAPACS_FLOORPLAN_HBM_BINDING_HH
+
+#include <vector>
+
+#include "floorplan/partition.hh"
+
+namespace tapacs
+{
+
+/** Channel assignment for every task on every device. */
+struct HbmBinding
+{
+    /** channelsOf[v] = memory channels bound to vertex v (global
+     *  graph indexing; empty when the task has no memory ports). */
+    std::vector<std::vector<int>> channelsOf;
+    /** usersPerChannel[d][c] = tasks sharing channel c on device d. */
+    std::vector<std::vector<int>> usersPerChannel;
+
+    /** Worst-case sharing across all channels of a device. */
+    int maxContention(DeviceId d) const;
+
+    /** Sum over tasks of |task column - channel column| (binding
+     *  displacement; lower is better routed). */
+    double displacementCost = 0.0;
+};
+
+/**
+ * Bind memory channels for every device of the cluster.
+ *
+ * Tasks request work.memChannels channels each. Within a device the
+ * binder walks tasks in slot-column order, granting the nearest free
+ * channels; once all channels are granted further requests share the
+ * least-loaded channels (contention > 1).
+ */
+HbmBinding bindHbmChannels(const TaskGraph &g, const Cluster &cluster,
+                           const DevicePartition &partition,
+                           const SlotPlacement &placement);
+
+/**
+ * Column of a memory channel on the device (channels are spread
+ * evenly across the bottom-row slot columns).
+ */
+int channelColumn(const DeviceModel &device, int channel);
+
+} // namespace tapacs
+
+#endif // TAPACS_FLOORPLAN_HBM_BINDING_HH

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Level-1 floorplanning: task -> FPGA assignment (paper section 4.3).
+ *
+ * The exact formulation is the paper's: binary placement variables,
+ * per-resource utilization threshold (eq. 1) and the topology- and
+ * media-aware communication objective (eq. 2 with eq. 3/4 distances,
+ * provided here by Cluster::costDistance). To keep the exact ILP
+ * tractable on large designs (the AutoSA CNN has 493 modules), the
+ * solve is multilevel: heavy-edge-matching coarsening down to a
+ * bounded coarse graph, branch-and-bound ILP on the coarse graph
+ * (warm-started by a greedy seed), then projection and
+ * Fiduccia-Mattheyses-style single-move refinement on the full graph.
+ * The greedy+refinement path doubles as the heuristic baseline for
+ * the solver ablation bench.
+ *
+ * The partitioner intentionally does not always return the min-cut:
+ * moving a module off-chip costs communication but may relieve
+ * congestion; the threshold constraint encodes exactly that trade
+ * (paper section 4.3, last paragraph).
+ */
+
+#ifndef TAPACS_FLOORPLAN_INTER_FPGA_HH
+#define TAPACS_FLOORPLAN_INTER_FPGA_HH
+
+#include "floorplan/partition.hh"
+#include "ilp/solver.hh"
+
+namespace tapacs
+{
+
+/** Options for the level-1 floorplanner. */
+struct InterFpgaOptions
+{
+    /** Utilization threshold T of eq. 1. */
+    double threshold = 0.70;
+    /** Resources reserved per device (e.g. networking IPs). */
+    ResourceVector reserved;
+    /** Coarsen until at most this many vertices before the ILP. */
+    int coarseLimit = 36;
+    /**
+     * Compute-load balance: no device may take more than
+     * balanceSlack / numDevices of the design's total area in any
+     * resource (plus a small absolute allowance). The paper lists
+     * balanced compute load as a level-1 goal alongside the
+     * communication objective (section 4.1).
+     */
+    double balanceSlack = 1.30;
+    /**
+     * Physical memory channels per device (0 = unlimited). Tasks
+     * request work.memChannels each; a device cannot host tasks whose
+     * total demand exceeds its channel count — this is the constraint
+     * that makes the paper's 36-blue-module KNN configuration
+     * impossible on a single U55C (32 channels).
+     */
+    int channelsPerDevice = 0;
+    /** If false, skip the ILP and use greedy + refinement only
+     *  (heuristic mode, used as the ablation baseline). */
+    bool useIlp = true;
+    /** RNG seed for coarsening tie-breaks. */
+    std::uint64_t seed = 1;
+    /** Branch-and-bound limits for the coarse ILP. The defaults trade
+     *  proven optimality for bounded runtime: the greedy warm start
+     *  guarantees an incumbent and FM refinement polishes it, so a
+     *  limit hit degrades quality marginally, never correctness. */
+    ilp::SolverOptions solver = defaultSolverOptions();
+
+    static ilp::SolverOptions
+    defaultSolverOptions()
+    {
+        ilp::SolverOptions s;
+        s.maxNodes = 150;
+        s.timeLimitSeconds = 5.0;
+        return s;
+    }
+};
+
+/** Result of a level-1 solve. */
+struct InterFpgaResult
+{
+    /** False when no threshold-feasible partition exists (the design
+     *  needs more FPGAs); partition is then empty. */
+    bool feasible = true;
+    DevicePartition partition;
+    /** eq. 2 objective of the final partition. */
+    double cost = 0.0;
+    /** Bytes crossing device boundaries per run. */
+    double cutTrafficBytes = 0.0;
+    /** Wall-clock seconds (the paper's "L1" overhead). */
+    double elapsedSeconds = 0.0;
+    /** True if the coarse ILP was solved to proven optimality. */
+    bool ilpOptimal = false;
+    /** Vertices in the coarse graph the ILP saw. */
+    int coarseVertices = 0;
+};
+
+/**
+ * Assign every task to a device.
+ *
+ * Returns feasible = false when the design cannot fit the cluster
+ * under the threshold (the paper's "requires more resources than
+ * available on a single device" outcome); configuration errors
+ * (negative budgets) still call fatal().
+ */
+InterFpgaResult floorplanInterFpga(const TaskGraph &g,
+                                   const Cluster &cluster,
+                                   const InterFpgaOptions &options = {});
+
+} // namespace tapacs
+
+#endif // TAPACS_FLOORPLAN_INTER_FPGA_HH

@@ -1,0 +1,390 @@
+#include "floorplan/intra_fpga.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace tapacs
+{
+
+namespace
+{
+
+using clock_type = std::chrono::steady_clock;
+
+/** Rectangular region of slots: [c0, c1] x [r0, r1], inclusive. */
+struct Region
+{
+    int c0, c1, r0, r1;
+
+    int slotCount() const { return (c1 - c0 + 1) * (r1 - r0 + 1); }
+    bool single() const { return slotCount() == 1; }
+
+    double centerCol() const { return 0.5 * (c0 + c1); }
+    double centerRow() const { return 0.5 * (r0 + r1); }
+
+    bool containsRow(int row) const { return row >= r0 && row <= r1; }
+};
+
+/** State of one device's recursive bisection. */
+struct DeviceState
+{
+    std::vector<VertexId> verts;     // vertices on this device
+    std::vector<Region> regionOf;    // current region per local index
+};
+
+double
+regionDist(const Region &a, const Region &b)
+{
+    return std::abs(a.centerCol() - b.centerCol()) +
+           std::abs(a.centerRow() - b.centerRow());
+}
+
+/** Capacity budget of a region (threshold-scaled, reserve deducted). */
+ResourceVector
+regionBudget(const DeviceModel &dev, const Region &region,
+             const IntraFpgaOptions &opt)
+{
+    ResourceVector cap;
+    for (int r = region.r0; r <= region.r1; ++r) {
+        for (int c = region.c0; c <= region.c1; ++c)
+            cap += dev.slot(c, r).capacity;
+    }
+    cap *= opt.threshold;
+    ResourceVector reserve = opt.reserved;
+    reserve *= static_cast<double>(region.slotCount()) / dev.numSlots();
+    cap -= reserve;
+    for (int r = 0; r < kNumResourceKinds; ++r) {
+        const auto kind = static_cast<ResourceKind>(r);
+        if (cap[kind] < 0.0)
+            cap[kind] = 0.0;
+    }
+    return cap;
+}
+
+/**
+ * Linear pull of vertex lv toward side B (positive values favour A).
+ * Folds in edges to vertices outside the active set and the HBM
+ * attraction toward the memory row.
+ */
+std::vector<double>
+sidePull(const TaskGraph &g, const DeviceModel &dev,
+         const std::vector<VertexId> &active,
+         const std::vector<int> &activeIndex, const DeviceState &state,
+         const std::vector<int> &localOf, const Region &sideA,
+         const Region &sideB, const IntraFpgaOptions &opt)
+{
+    std::vector<double> delta(active.size(), 0.0);
+    for (size_t i = 0; i < active.size(); ++i) {
+        const VertexId v = active[i];
+        auto external = [&](VertexId other, double width) {
+            const int lo = localOf[other];
+            if (lo < 0)
+                return; // other device: level-1 handled that cost
+            if (activeIndex[other] >= 0)
+                return; // same bisection, handled quadratically
+            const Region &r = state.regionOf[lo];
+            delta[i] += width * (regionDist(sideB, r) -
+                                 regionDist(sideA, r));
+        };
+        for (EdgeId e : g.outEdges(v))
+            external(g.edge(e).dst, g.edge(e).widthBits);
+        for (EdgeId e : g.inEdges(v))
+            external(g.edge(e).src, g.edge(e).widthBits);
+
+        // HBM attraction: pseudo-edge to the memory row.
+        const int ch = g.vertex(v).work.memChannels;
+        if (ch > 0 && dev.memoryRow() >= 0) {
+            Region mem{0, dev.cols() - 1, dev.memoryRow(),
+                       dev.memoryRow()};
+            delta[i] += opt.memAttractionWidth * ch *
+                        (regionDist(sideB, mem) - regionDist(sideA, mem));
+        }
+    }
+    return delta;
+}
+
+/** Greedy bisection fallback/warm start: descending area, best side. */
+std::vector<int>
+greedyCut(const TaskGraph &g, const std::vector<VertexId> &active,
+          const std::vector<int> &activeIndex,
+          const std::vector<double> &pull, const ResourceVector &budgetA,
+          const ResourceVector &budgetB, double step)
+{
+    std::vector<size_t> order(active.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return g.vertex(active[a]).area[ResourceKind::Lut] >
+               g.vertex(active[b]).area[ResourceKind::Lut];
+    });
+
+    std::vector<int> side(active.size(), -1);
+    ResourceVector usedA, usedB;
+    for (size_t i : order) {
+        const VertexId v = active[i];
+        // Cost of each side: pull plus cut edges to already-placed
+        // neighbors inside this bisection.
+        double costA = 0.0, costB = pull[i];
+        auto neighbor = [&](VertexId other, double width) {
+            const int oi = activeIndex[other];
+            if (oi < 0 || side[oi] < 0)
+                return;
+            if (side[oi] == 0)
+                costB += width * step;
+            else
+                costA += width * step;
+        };
+        for (EdgeId e : g.outEdges(v))
+            neighbor(g.edge(e).dst, g.edge(e).widthBits);
+        for (EdgeId e : g.inEdges(v))
+            neighbor(g.edge(e).src, g.edge(e).widthBits);
+
+        ResourceVector afterA = usedA, afterB = usedB;
+        afterA += g.vertex(v).area;
+        afterB += g.vertex(v).area;
+        const bool okA = afterA.fitsWithin(budgetA);
+        const bool okB = afterB.fitsWithin(budgetB);
+        int pick;
+        if (okA && okB)
+            pick = costA <= costB ? 0 : 1;
+        else if (okA)
+            pick = 0;
+        else if (okB)
+            pick = 1;
+        else
+            pick = afterA.maxUtilization(budgetA) <=
+                           afterB.maxUtilization(budgetB)
+                       ? 0
+                       : 1;
+        side[i] = pick;
+        (pick == 0 ? usedA : usedB) += g.vertex(v).area;
+    }
+    return side;
+}
+
+/**
+ * One ILP bisection: assign each active vertex to side A (0) or B
+ * (1). Objective: step * sum_e w_e |y_u - y_v| + linear pulls.
+ */
+std::vector<int>
+ilpCut(const TaskGraph &g, const std::vector<VertexId> &active,
+       const std::vector<int> &activeIndex,
+       const std::vector<double> &pull, const ResourceVector &budgetA,
+       const ResourceVector &budgetB, double step,
+       const IntraFpgaOptions &opt, const std::vector<int> &warm,
+       bool *optimal)
+{
+    const int n = static_cast<int>(active.size());
+    ilp::Model model;
+    std::vector<ilp::VarId> y(n);
+    for (int i = 0; i < n; ++i)
+        y[i] = model.addBinary(strprintf("y_%d", i));
+
+    // Resource budgets: side B usage <= budgetB, side A usage =
+    // total - sideB usage <= budgetA.
+    for (int r = 0; r < kNumResourceKinds; ++r) {
+        const auto kind = static_cast<ResourceKind>(r);
+        ilp::LinExpr useB;
+        double total = 0.0;
+        bool any = false;
+        for (int i = 0; i < n; ++i) {
+            const double a = g.vertex(active[i]).area[kind];
+            total += a;
+            if (a > 0.0) {
+                useB.add(y[i], a);
+                any = true;
+            }
+        }
+        if (!any)
+            continue;
+        ilp::LinExpr useB2 = useB;
+        model.addConstraint(std::move(useB), ilp::Sense::LessEqual,
+                            budgetB[kind]);
+        model.addConstraint(std::move(useB2), ilp::Sense::GreaterEqual,
+                            total - budgetA[kind]);
+    }
+
+    // Cut edges among the active set.
+    ilp::LinExpr objective;
+    struct CutVar
+    {
+        ilp::VarId d;
+        int u, v;
+    };
+    std::vector<CutVar> cuts;
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        const int ui = activeIndex[edge.src];
+        const int vi = activeIndex[edge.dst];
+        if (ui < 0 || vi < 0 || ui == vi)
+            continue;
+        const ilp::VarId d = model.addContinuous(0.0);
+        ilp::LinExpr c1;
+        c1.add(y[ui], 1.0).add(y[vi], -1.0).add(d, -1.0);
+        model.addConstraint(std::move(c1), ilp::Sense::LessEqual, 0.0);
+        ilp::LinExpr c2;
+        c2.add(y[vi], 1.0).add(y[ui], -1.0).add(d, -1.0);
+        model.addConstraint(std::move(c2), ilp::Sense::LessEqual, 0.0);
+        objective.add(d, step * edge.widthBits);
+        cuts.push_back({d, ui, vi});
+    }
+    for (int i = 0; i < n; ++i)
+        objective.add(y[i], pull[i]);
+    model.setObjective(std::move(objective));
+
+    std::vector<double> warm_values(model.numVars(), 0.0);
+    for (int i = 0; i < n; ++i)
+        warm_values[y[i]] = warm[i];
+    for (const auto &cv : cuts)
+        warm_values[cv.d] = std::abs(warm[cv.u] - warm[cv.v]);
+
+    ilp::BranchBoundSolver solver(opt.solver);
+    ilp::Solution sol = solver.solve(model, warm_values);
+    if (optimal)
+        *optimal = solver.stats().provenOptimal;
+    if (!sol.hasSolution())
+        return warm;
+    std::vector<int> side(n);
+    for (int i = 0; i < n; ++i)
+        side[i] = static_cast<int>(sol.round(y[i]));
+    return side;
+}
+
+} // namespace
+
+IntraFpgaResult
+floorplanIntraFpga(const TaskGraph &g, const Cluster &cluster,
+                   const DevicePartition &partition,
+                   const IntraFpgaOptions &options)
+{
+    const auto t0 = clock_type::now();
+    tapacs_assert(static_cast<int>(partition.deviceOf.size()) ==
+                  g.numVertices());
+    const DeviceModel &dev = cluster.device();
+
+    IntraFpgaResult out;
+    out.placement.slotOf.assign(g.numVertices(), SlotCoord{0, 0});
+
+    // localOf[v]: index of v within its device's vertex list.
+    std::vector<int> localOf(g.numVertices(), -1);
+
+    for (DeviceId d = 0; d < cluster.numDevices(); ++d) {
+        DeviceState state;
+        std::fill(localOf.begin(), localOf.end(), -1);
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            if (partition.deviceOf[v] == d) {
+                localOf[v] = static_cast<int>(state.verts.size());
+                state.verts.push_back(v);
+            }
+        }
+        if (state.verts.empty())
+            continue;
+        const Region full{0, dev.cols() - 1, 0, dev.rows() - 1};
+        state.regionOf.assign(state.verts.size(), full);
+
+        std::vector<Region> queue = {full};
+        while (!queue.empty()) {
+            const Region region = queue.back();
+            queue.pop_back();
+            if (region.single())
+                continue;
+
+            // Split the longer axis; rows split so the memory row
+            // stays in the lower half when present.
+            const int ncols = region.c1 - region.c0 + 1;
+            const int nrows = region.r1 - region.r0 + 1;
+            Region sideA = region, sideB = region;
+            if (nrows >= ncols) {
+                const int mid = region.r0 + (nrows - 1) / 2;
+                sideA.r1 = mid;
+                sideB.r0 = mid + 1;
+            } else {
+                const int mid = region.c0 + (ncols - 1) / 2;
+                sideA.c1 = mid;
+                sideB.c0 = mid + 1;
+            }
+            const double step = regionDist(sideA, sideB);
+
+            // Active set: vertices currently in this region.
+            std::vector<VertexId> active;
+            for (size_t i = 0; i < state.verts.size(); ++i) {
+                const Region &r = state.regionOf[i];
+                if (r.c0 == region.c0 && r.c1 == region.c1 &&
+                    r.r0 == region.r0 && r.r1 == region.r1) {
+                    active.push_back(state.verts[i]);
+                }
+            }
+            if (!active.empty()) {
+                std::vector<int> activeIndex(g.numVertices(), -1);
+                for (size_t i = 0; i < active.size(); ++i)
+                    activeIndex[active[i]] = static_cast<int>(i);
+
+                ResourceVector budgetA = regionBudget(dev, sideA, options);
+                ResourceVector budgetB = regionBudget(dev, sideB, options);
+
+                // Balance pressure: beyond the threshold cap, each
+                // side may only take its area-proportional share plus
+                // slack. Spreading logic evenly is what lets the
+                // floorplanned designs close timing at the board
+                // maximum (congestion grows with slot utilization).
+                ResourceVector active_total;
+                for (VertexId av : active)
+                    active_total += g.vertex(av).area;
+                for (int r = 0; r < kNumResourceKinds; ++r) {
+                    const auto kind = static_cast<ResourceKind>(r);
+                    const double cap_a = budgetA[kind];
+                    const double cap_b = budgetB[kind];
+                    if (cap_a + cap_b <= 0.0)
+                        continue;
+                    const double total = active_total[kind];
+                    const double slack = 0.10;
+                    budgetA[kind] = std::min(
+                        cap_a, total * cap_a / (cap_a + cap_b) +
+                                   slack * cap_a + 1.0);
+                    budgetB[kind] = std::min(
+                        cap_b, total * cap_b / (cap_a + cap_b) +
+                                   slack * cap_b + 1.0);
+                }
+                const std::vector<double> pull =
+                    sidePull(g, dev, active, activeIndex, state, localOf,
+                             sideA, sideB, options);
+
+                std::vector<int> side =
+                    greedyCut(g, active, activeIndex, pull, budgetA,
+                              budgetB, step);
+                if (options.useIlp) {
+                    bool optimal = false;
+                    side = ilpCut(g, active, activeIndex, pull, budgetA,
+                                  budgetB, step, options, side, &optimal);
+                    if (!optimal)
+                        out.allIlpOptimal = false;
+                } else {
+                    out.allIlpOptimal = false;
+                }
+                for (size_t i = 0; i < active.size(); ++i) {
+                    state.regionOf[localOf[active[i]]] =
+                        side[i] == 0 ? sideA : sideB;
+                }
+            }
+            queue.push_back(sideA);
+            queue.push_back(sideB);
+        }
+
+        for (size_t i = 0; i < state.verts.size(); ++i) {
+            const Region &r = state.regionOf[i];
+            tapacs_assert(r.single());
+            out.placement.slotOf[state.verts[i]] = SlotCoord{r.c0, r.r0};
+        }
+    }
+
+    out.cost = intraFpgaCost(g, partition, out.placement);
+    out.elapsedSeconds =
+        std::chrono::duration<double>(clock_type::now() - t0).count();
+    return out;
+}
+
+} // namespace tapacs

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Level-2 floorplanning: task -> slot assignment inside each FPGA
+ * (paper section 4.5).
+ *
+ * Each FPGA is presented as a grid of slots bounded by hard IPs and
+ * static regions (2 cols x 3 rows on the U55C). Placement minimizes
+ * the paper's eq. 4 — FIFO width times Manhattan slot distance —
+ * via top-down recursive two-way partitioning, each cut solved as an
+ * ILP ("we continue such a two-way ILP-based partitioning scheme",
+ * section 4.5). Two device-specific forces shape the result:
+ * vertices with external-memory ports are attracted to the
+ * memory-exposing bottom row (all HBM channels surface there), and
+ * edges to vertices fixed elsewhere pull toward the matching side.
+ */
+
+#ifndef TAPACS_FLOORPLAN_INTRA_FPGA_HH
+#define TAPACS_FLOORPLAN_INTRA_FPGA_HH
+
+#include "floorplan/partition.hh"
+#include "ilp/solver.hh"
+
+namespace tapacs
+{
+
+/** Options for the level-2 floorplanner. */
+struct IntraFpgaOptions
+{
+    /** Per-slot utilization threshold. */
+    double threshold = 0.70;
+    /** Resources reserved per device (networking IPs), spread evenly
+     *  over the slots. */
+    ResourceVector reserved;
+    /** If false, use the greedy cut instead of the ILP at every
+     *  bisection (heuristic mode for the ablation bench). */
+    bool useIlp = true;
+    /** Pseudo-FIFO width per memory channel pulling memory-bound
+     *  tasks toward the HBM row. */
+    double memAttractionWidth = 64.0;
+    /** RNG seed for refinement ordering. */
+    std::uint64_t seed = 1;
+    /** Branch-and-bound limits per bisection ILP (each device takes
+     *  numSlots-1 bisections; the greedy warm start bounds the damage
+     *  of a limit hit). */
+    ilp::SolverOptions solver = defaultSolverOptions();
+
+    static ilp::SolverOptions
+    defaultSolverOptions()
+    {
+        ilp::SolverOptions s;
+        s.maxNodes = 150;
+        s.timeLimitSeconds = 1.5;
+        return s;
+    }
+};
+
+/** Result of a level-2 solve across all devices. */
+struct IntraFpgaResult
+{
+    SlotPlacement placement;
+    /** eq. 4 objective across all devices. */
+    double cost = 0.0;
+    /** Wall-clock seconds (the paper's "L2" overhead). */
+    double elapsedSeconds = 0.0;
+    /** True if every bisection ILP was solved to proven optimality. */
+    bool allIlpOptimal = true;
+};
+
+/**
+ * Place every task into a slot of its assigned device.
+ *
+ * @param g the task graph (validated).
+ * @param cluster the cluster (provides the device slot grid).
+ * @param partition level-1 result assigning tasks to devices.
+ * @param options knobs above.
+ */
+IntraFpgaResult floorplanIntraFpga(const TaskGraph &g,
+                                   const Cluster &cluster,
+                                   const DevicePartition &partition,
+                                   const IntraFpgaOptions &options = {});
+
+} // namespace tapacs
+
+#endif // TAPACS_FLOORPLAN_INTRA_FPGA_HH

@@ -1,0 +1,109 @@
+#include "floorplan/partition.hh"
+
+#include <set>
+
+#include "common/logging.hh"
+
+namespace tapacs
+{
+
+int
+DevicePartition::devicesUsed() const
+{
+    std::set<DeviceId> used(deviceOf.begin(), deviceOf.end());
+    return static_cast<int>(used.size());
+}
+
+double
+interFpgaCost(const TaskGraph &g, const Cluster &cluster,
+              const DevicePartition &p)
+{
+    tapacs_assert(static_cast<int>(p.deviceOf.size()) == g.numVertices());
+    double cost = 0.0;
+    for (const auto &e : g.edges()) {
+        const DeviceId a = p.deviceOf[e.src];
+        const DeviceId b = p.deviceOf[e.dst];
+        if (a != b)
+            cost += e.widthBits * cluster.costDistance(a, b);
+    }
+    return cost;
+}
+
+double
+interFpgaTrafficBytes(const TaskGraph &g, const DevicePartition &p)
+{
+    double bytes = 0.0;
+    for (const auto &e : g.edges()) {
+        if (p.deviceOf[e.src] != p.deviceOf[e.dst])
+            bytes += e.totalBytes;
+    }
+    return bytes;
+}
+
+int
+cutEdgeCount(const TaskGraph &g, const DevicePartition &p)
+{
+    int cut = 0;
+    for (const auto &e : g.edges()) {
+        if (p.deviceOf[e.src] != p.deviceOf[e.dst])
+            ++cut;
+    }
+    return cut;
+}
+
+std::vector<ResourceVector>
+perDeviceArea(const TaskGraph &g, const Cluster &cluster,
+              const DevicePartition &p)
+{
+    std::vector<ResourceVector> areas(cluster.numDevices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        areas[p.deviceOf[v]] += g.vertex(v).area;
+    return areas;
+}
+
+bool
+respectsThreshold(const TaskGraph &g, const Cluster &cluster,
+                  const DevicePartition &p, const ResourceVector &reserved,
+                  double threshold)
+{
+    const ResourceVector cap = cluster.device().totalResources();
+    auto areas = perDeviceArea(g, cluster, p);
+    for (auto &area : areas) {
+        area += reserved;
+        if (area.maxUtilization(cap) > threshold + 1e-9)
+            return false;
+    }
+    return true;
+}
+
+double
+intraFpgaCost(const TaskGraph &g, const DevicePartition &p,
+              const SlotPlacement &s)
+{
+    tapacs_assert(static_cast<int>(s.slotOf.size()) == g.numVertices());
+    double cost = 0.0;
+    for (const auto &e : g.edges()) {
+        if (p.deviceOf[e.src] != p.deviceOf[e.dst])
+            continue;
+        cost += e.widthBits *
+                s.slotOf[e.src].manhattan(s.slotOf[e.dst]);
+    }
+    return cost;
+}
+
+std::vector<ResourceVector>
+perSlotArea(const TaskGraph &g, const DeviceModel &device,
+            const DevicePartition &p, const SlotPlacement &s, DeviceId dev)
+{
+    std::vector<ResourceVector> areas(device.numSlots());
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (p.deviceOf[v] != dev)
+            continue;
+        const SlotCoord &c = s.slotOf[v];
+        areas[static_cast<size_t>(c.row) * device.cols() + c.col] +=
+            g.vertex(v).area;
+    }
+    return areas;
+}
+
+} // namespace tapacs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared floorplanning result types and cost evaluation.
+ *
+ * Level 1 (inter-FPGA) produces a DevicePartition: one device id per
+ * task. Level 2 (intra-FPGA) produces a SlotPlacement: one slot
+ * coordinate per task within its device. Both levels optimize the
+ * paper's cost functions (eq. 2 for level 1, eq. 4 for level 2)
+ * subject to the per-resource utilization threshold (eq. 1).
+ */
+
+#ifndef TAPACS_FLOORPLAN_PARTITION_HH
+#define TAPACS_FLOORPLAN_PARTITION_HH
+
+#include <vector>
+
+#include "device/device.hh"
+#include "graph/task_graph.hh"
+#include "network/cluster.hh"
+
+namespace tapacs
+{
+
+/** Task -> device assignment (level-1 result). */
+struct DevicePartition
+{
+    /** deviceOf[v] = device id of vertex v. */
+    std::vector<DeviceId> deviceOf;
+
+    /** Number of distinct devices actually used. */
+    int devicesUsed() const;
+};
+
+/** Task -> slot assignment within its device (level-2 result). */
+struct SlotPlacement
+{
+    /** slotOf[v] = slot coordinate of vertex v inside its device. */
+    std::vector<SlotCoord> slotOf;
+};
+
+/**
+ * Paper eq. 2: total inter-FPGA communication cost of a partition —
+ * sum over cut edges of width x costDistance (which already folds in
+ * the topology hop count and the lambda media scaling).
+ */
+double interFpgaCost(const TaskGraph &g, const Cluster &cluster,
+                     const DevicePartition &p);
+
+/** Total bytes crossing device boundaries under a partition. */
+double interFpgaTrafficBytes(const TaskGraph &g,
+                             const DevicePartition &p);
+
+/** Number of FIFO edges crossing device boundaries. */
+int cutEdgeCount(const TaskGraph &g, const DevicePartition &p);
+
+/** Sum of vertex areas per device. */
+std::vector<ResourceVector> perDeviceArea(const TaskGraph &g,
+                                          const Cluster &cluster,
+                                          const DevicePartition &p);
+
+/**
+ * Check eq. 1: every device's per-resource utilization (including a
+ * reserved overhead, e.g. the networking IPs) stays below threshold.
+ *
+ * @param reserved resources pre-committed on every device.
+ * @param threshold utilization threshold T in (0, 1].
+ */
+bool respectsThreshold(const TaskGraph &g, const Cluster &cluster,
+                       const DevicePartition &p,
+                       const ResourceVector &reserved, double threshold);
+
+/**
+ * Paper eq. 4: intra-FPGA cost — sum over same-device edges of
+ * width x Manhattan slot distance.
+ */
+double intraFpgaCost(const TaskGraph &g, const DevicePartition &p,
+                     const SlotPlacement &s);
+
+/** Sum of vertex areas per slot of one device. */
+std::vector<ResourceVector> perSlotArea(const TaskGraph &g,
+                                        const DeviceModel &device,
+                                        const DevicePartition &p,
+                                        const SlotPlacement &s,
+                                        DeviceId dev);
+
+} // namespace tapacs
+
+#endif // TAPACS_FLOORPLAN_PARTITION_HH

@@ -1,0 +1,238 @@
+#include "graph/algorithms.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hh"
+
+namespace tapacs
+{
+
+std::optional<std::vector<VertexId>>
+topologicalOrder(const TaskGraph &g)
+{
+    const int n = g.numVertices();
+    std::vector<int> indeg(n, 0);
+    for (const auto &e : g.edges())
+        ++indeg[e.dst];
+
+    std::vector<VertexId> ready;
+    for (VertexId v = 0; v < n; ++v) {
+        if (indeg[v] == 0)
+            ready.push_back(v);
+    }
+
+    std::vector<VertexId> order;
+    order.reserve(n);
+    while (!ready.empty()) {
+        const VertexId v = ready.back();
+        ready.pop_back();
+        order.push_back(v);
+        for (EdgeId e : g.outEdges(v)) {
+            const VertexId w = g.edge(e).dst;
+            if (--indeg[w] == 0)
+                ready.push_back(w);
+        }
+    }
+    if (static_cast<int>(order.size()) != n)
+        return std::nullopt;
+    return order;
+}
+
+bool
+hasCycle(const TaskGraph &g)
+{
+    return !topologicalOrder(g).has_value();
+}
+
+namespace
+{
+
+/** Iterative Tarjan SCC to avoid deep recursion on long pipelines. */
+struct TarjanState
+{
+    const TaskGraph &g;
+    std::vector<int> index, lowlink, comp;
+    std::vector<bool> onStack;
+    std::vector<VertexId> stack;
+    int nextIndex = 0;
+    int nextComp = 0;
+
+    explicit TarjanState(const TaskGraph &graph)
+        : g(graph),
+          index(graph.numVertices(), -1),
+          lowlink(graph.numVertices(), 0),
+          comp(graph.numVertices(), -1),
+          onStack(graph.numVertices(), false)
+    {
+    }
+
+    void
+    run(VertexId root)
+    {
+        struct Frame
+        {
+            VertexId v;
+            size_t edgeIdx;
+        };
+        std::vector<Frame> frames;
+        frames.push_back({root, 0});
+        index[root] = lowlink[root] = nextIndex++;
+        stack.push_back(root);
+        onStack[root] = true;
+
+        while (!frames.empty()) {
+            Frame &f = frames.back();
+            const auto &outs = g.outEdges(f.v);
+            if (f.edgeIdx < outs.size()) {
+                const VertexId w = g.edge(outs[f.edgeIdx++]).dst;
+                if (index[w] < 0) {
+                    index[w] = lowlink[w] = nextIndex++;
+                    stack.push_back(w);
+                    onStack[w] = true;
+                    frames.push_back({w, 0});
+                } else if (onStack[w]) {
+                    lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+                }
+            } else {
+                if (lowlink[f.v] == index[f.v]) {
+                    while (true) {
+                        const VertexId w = stack.back();
+                        stack.pop_back();
+                        onStack[w] = false;
+                        comp[w] = nextComp;
+                        if (w == f.v)
+                            break;
+                    }
+                    ++nextComp;
+                }
+                const VertexId child = f.v;
+                frames.pop_back();
+                if (!frames.empty()) {
+                    const VertexId parent = frames.back().v;
+                    lowlink[parent] =
+                        std::min(lowlink[parent], lowlink[child]);
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::vector<int>
+stronglyConnectedComponents(const TaskGraph &g, int *numComponents)
+{
+    TarjanState state(g);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (state.index[v] < 0)
+            state.run(v);
+    }
+    if (numComponents)
+        *numComponents = state.nextComp;
+    return state.comp;
+}
+
+TaskGraph
+condensation(const TaskGraph &g, const std::vector<int> &scc,
+             int numComponents)
+{
+    TaskGraph out(g.name() + ".condensed");
+    std::vector<Vertex> members(numComponents);
+    std::vector<int> memberCount(numComponents, 0);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const int c = scc[v];
+        Vertex &m = members[c];
+        if (memberCount[c] == 0)
+            m.name = g.vertex(v).name;
+        m.area += g.vertex(v).area;
+        m.work.computeOps += g.vertex(v).work.computeOps;
+        m.work.opsPerCycle += g.vertex(v).work.opsPerCycle;
+        m.work.memReadBytes += g.vertex(v).work.memReadBytes;
+        m.work.memWriteBytes += g.vertex(v).work.memWriteBytes;
+        m.work.memChannels += g.vertex(v).work.memChannels;
+        m.work.numBlocks =
+            std::max(m.work.numBlocks, g.vertex(v).work.numBlocks);
+        ++memberCount[c];
+    }
+    for (int c = 0; c < numComponents; ++c) {
+        if (memberCount[c] > 1)
+            members[c].name += strprintf(".scc%d", c);
+        out.addVertex(std::move(members[c]));
+    }
+
+    std::map<std::pair<int, int>, EdgeId> merged;
+    for (const auto &e : g.edges()) {
+        const int cs = scc[e.src], cd = scc[e.dst];
+        if (cs == cd)
+            continue;
+        auto key = std::make_pair(cs, cd);
+        auto it = merged.find(key);
+        if (it == merged.end()) {
+            EdgeId id = out.addEdge(cs, cd, e.widthBits, e.totalBytes,
+                                    e.depth);
+            merged[key] = id;
+        } else {
+            Edge &m = out.edge(it->second);
+            m.widthBits += e.widthBits;
+            m.totalBytes += e.totalBytes;
+        }
+    }
+    return out;
+}
+
+std::vector<int>
+weaklyConnectedComponents(const TaskGraph &g, int *numComponents)
+{
+    const int n = g.numVertices();
+    std::vector<int> comp(n, -1);
+    int next = 0;
+    std::vector<VertexId> queue;
+    for (VertexId s = 0; s < n; ++s) {
+        if (comp[s] >= 0)
+            continue;
+        comp[s] = next;
+        queue.push_back(s);
+        while (!queue.empty()) {
+            const VertexId v = queue.back();
+            queue.pop_back();
+            for (EdgeId e : g.outEdges(v)) {
+                const VertexId w = g.edge(e).dst;
+                if (comp[w] < 0) {
+                    comp[w] = next;
+                    queue.push_back(w);
+                }
+            }
+            for (EdgeId e : g.inEdges(v)) {
+                const VertexId w = g.edge(e).src;
+                if (comp[w] < 0) {
+                    comp[w] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        ++next;
+    }
+    if (numComponents)
+        *numComponents = next;
+    return comp;
+}
+
+std::vector<int>
+longestPathFromSources(const TaskGraph &g)
+{
+    auto order = topologicalOrder(g);
+    if (!order)
+        panic("longestPathFromSources called on a cyclic graph '%s'",
+              g.name().c_str());
+    std::vector<int> depth(g.numVertices(), 0);
+    for (VertexId v : *order) {
+        for (EdgeId e : g.outEdges(v)) {
+            const VertexId w = g.edge(e).dst;
+            depth[w] = std::max(depth[w], depth[v] + 1);
+        }
+    }
+    return depth;
+}
+
+} // namespace tapacs

@@ -1,0 +1,86 @@
+#include "graph/serialize.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace tapacs
+{
+
+std::string
+serializeTaskGraph(const TaskGraph &g)
+{
+    std::string out = strprintf("graph %s\n", g.name().c_str());
+    for (const Vertex &v : g.vertices()) {
+        out += strprintf(
+            "vertex %s %.17g %.17g %.17g %.17g %.17g %.17g %.17g %.17g "
+            "%.17g %d %d %d\n",
+            v.name.c_str(), v.area[ResourceKind::Lut],
+            v.area[ResourceKind::Ff], v.area[ResourceKind::Bram],
+            v.area[ResourceKind::Dsp], v.area[ResourceKind::Uram],
+            v.work.computeOps, v.work.opsPerCycle, v.work.memReadBytes,
+            v.work.memWriteBytes, v.work.memPortWidthBits,
+            v.work.memChannels, v.work.numBlocks);
+    }
+    for (const Edge &e : g.edges()) {
+        out += strprintf("edge %d %d %d %.17g %d %d\n", e.src, e.dst,
+                         e.widthBits, e.totalBytes, e.depth,
+                         e.initialTokens);
+    }
+    return out;
+}
+
+TaskGraph
+parseTaskGraph(const std::string &text)
+{
+    TaskGraph g;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::string kind;
+        ls >> kind;
+        if (kind == "graph") {
+            std::string name;
+            ls >> name;
+            g.setName(name);
+        } else if (kind == "vertex") {
+            Vertex v;
+            double lut, ff, bram, dsp, uram;
+            ls >> v.name >> lut >> ff >> bram >> dsp >> uram >>
+                v.work.computeOps >> v.work.opsPerCycle >>
+                v.work.memReadBytes >> v.work.memWriteBytes >>
+                v.work.memPortWidthBits >> v.work.memChannels >>
+                v.work.numBlocks;
+            if (ls.fail())
+                fatal("task-graph parse error at line %d: bad vertex",
+                      lineno);
+            v.area = ResourceVector(lut, ff, bram, dsp, uram);
+            g.addVertex(std::move(v));
+        } else if (kind == "edge") {
+            int src, dst, width, depth, init;
+            double bytes;
+            ls >> src >> dst >> width >> bytes >> depth >> init;
+            if (ls.fail())
+                fatal("task-graph parse error at line %d: bad edge",
+                      lineno);
+            if (src < 0 || src >= g.numVertices() || dst < 0 ||
+                dst >= g.numVertices()) {
+                fatal("task-graph parse error at line %d: edge refers "
+                      "to missing vertex", lineno);
+            }
+            const EdgeId e = g.addEdge(src, dst, width, bytes, depth);
+            g.edge(e).initialTokens = init;
+        } else {
+            fatal("task-graph parse error at line %d: unknown record "
+                  "'%s'", lineno, kind.c_str());
+        }
+    }
+    return g;
+}
+
+} // namespace tapacs

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Task-graph serialization.
+ *
+ * A plain-text, line-oriented format so designs can be saved,
+ * versioned and exchanged between tools (and so the test suite can
+ * assert exact round-trips). One record per line:
+ *
+ *   graph <name>
+ *   vertex <name> lut ff bram dsp uram ops opc rd wr width ch blocks
+ *   edge <src-index> <dst-index> widthBits totalBytes depth initTokens
+ */
+
+#ifndef TAPACS_GRAPH_SERIALIZE_HH
+#define TAPACS_GRAPH_SERIALIZE_HH
+
+#include <string>
+
+#include "graph/task_graph.hh"
+
+namespace tapacs
+{
+
+/** Render the graph in the line format above. */
+std::string serializeTaskGraph(const TaskGraph &g);
+
+/**
+ * Parse a graph back from the line format.
+ *
+ * Calls fatal() with a line number on malformed input (the input is
+ * user data).
+ */
+TaskGraph parseTaskGraph(const std::string &text);
+
+} // namespace tapacs
+
+#endif // TAPACS_GRAPH_SERIALIZE_HH

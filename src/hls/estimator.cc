@@ -1,0 +1,161 @@
+#include "hls/estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tapacs::hls
+{
+
+namespace
+{
+
+// Per-instance costs of HLS functional units on UltraScale+ fabric,
+// in (LUT, FF, BRAM, DSP, URAM). Values follow Vitis HLS resource
+// reports for fp32 cores with maximal DSP usage.
+const ResourceVector kFp32Add(230, 360, 0, 2, 0);
+const ResourceVector kFp32Mul(130, 260, 0, 3, 0);
+const ResourceVector kFp32Cmp(90, 120, 0, 0, 0);
+const ResourceVector kIntAlu(60, 80, 0, 0, 0);
+
+// Control overhead per FSM state (one-hot encoded state register plus
+// next-state logic).
+const ResourceVector kPerFsmState(25, 35, 0, 0, 0);
+
+// Fixed module scaffolding (start/done handshake, reset tree).
+const ResourceVector kModuleBase(120, 200, 0, 0, 0);
+
+// BRAM18 holds 18 Kbit = 2.25 KiB; URAM holds 288 Kbit = 36 KiB.
+constexpr double kBram18Bytes = 2304.0;
+constexpr double kUramBytes = 36.0 * 1024.0;
+
+} // namespace
+
+TaskIr &
+TaskIr::addStream(const std::string &port_name, int width_bits,
+                  bool is_input)
+{
+    streamPorts.push_back({port_name, width_bits, is_input});
+    return *this;
+}
+
+TaskIr &
+TaskIr::addMemPort(const std::string &port_name, int width_bits,
+                   Bytes burst_buffer_bytes)
+{
+    memPorts.push_back({port_name, width_bits, burst_buffer_bytes});
+    return *this;
+}
+
+double
+bramBlocksFor(Bytes bytes, int banks)
+{
+    if (bytes == 0)
+        return 0.0;
+    tapacs_assert(banks >= 1);
+    const double per_bank =
+        std::ceil(static_cast<double>(bytes) / banks / kBram18Bytes);
+    return per_bank * banks;
+}
+
+double
+uramBlocksFor(Bytes bytes, int banks)
+{
+    if (bytes == 0)
+        return 0.0;
+    tapacs_assert(banks >= 1);
+    const double per_bank =
+        std::ceil(static_cast<double>(bytes) / banks / kUramBytes);
+    return per_bank * banks;
+}
+
+SynthesisResult
+estimateTask(const TaskIr &task)
+{
+    SynthesisResult out;
+    out.taskName = task.name;
+    out.fsmStates = task.fsmStates;
+
+    ResourceVector area = kModuleBase;
+    area += kFp32Add * task.fp32AddUnits;
+    area += kFp32Mul * task.fp32MulUnits;
+    area += kFp32Cmp * task.fp32CmpUnits;
+    area += kIntAlu * task.intAluUnits;
+    area += kPerFsmState * task.fsmStates;
+
+    // Local buffering: URAM only pays off for large, deep buffers.
+    if (task.localBufferBytes > 0) {
+        const bool use_uram =
+            task.preferUram && task.localBufferBytes >= 64_KiB;
+        if (use_uram) {
+            area[ResourceKind::Uram] +=
+                uramBlocksFor(task.localBufferBytes, task.bufferBanks);
+        } else {
+            area[ResourceKind::Bram] +=
+                bramBlocksFor(task.localBufferBytes, task.bufferBanks);
+        }
+        // Banked address decode / write muxing.
+        area[ResourceKind::Lut] += 40.0 * task.bufferBanks;
+        area[ResourceKind::Ff] += 30.0 * task.bufferBanks;
+    }
+
+    // Stream interfaces: width-proportional register + handshake.
+    for (const auto &sp : task.streamPorts) {
+        area[ResourceKind::Lut] += 12.0 + sp.widthBits * 0.5;
+        area[ResourceKind::Ff] += 16.0 + sp.widthBits * 1.0;
+    }
+
+    // AXI memory-mapped ports: protocol engine plus a burst buffer.
+    // Large burst buffers (>= 64 KiB) are bound to URAM — BRAM-mapped
+    // buffers of that size would exhaust the HBM die (this is what
+    // lets the paper's 512-bit / 128 KiB KNN configuration route
+    // once spread across FPGAs).
+    for (const auto &mp : task.memPorts) {
+        area[ResourceKind::Lut] += 1100.0 + mp.widthBits * 1.2;
+        area[ResourceKind::Ff] += 1600.0 + mp.widthBits * 2.0;
+        if (mp.burstBufferBytes >= 64_KiB) {
+            area[ResourceKind::Uram] +=
+                uramBlocksFor(mp.burstBufferBytes, 1);
+            area[ResourceKind::Bram] += 2.0;
+        } else {
+            area[ResourceKind::Bram] +=
+                std::max(2.0, bramBlocksFor(mp.burstBufferBytes, 1));
+        }
+    }
+
+    out.area = area;
+
+    // Datapath pipeline depth grows with the deepest fp chain; fp32
+    // add/mul cores are ~7-8 stages at 300 MHz.
+    const int fp_units = task.fp32AddUnits + task.fp32MulUnits;
+    out.pipelineDepth = 4 + (fp_units > 0 ? 8 : 0) +
+                        static_cast<int>(std::log2(1.0 + fp_units));
+
+    // Intrinsic fmax: modules with huge fanout (many units fed from
+    // one FSM) close timing lower, and wide AXI datapaths with large
+    // burst buffers add deep muxing on the memory path (the KNN
+    // 512-bit/128-KiB configuration tops out near 220 MHz on real
+    // hardware, paper section 5.4).
+    double fmax_mhz = 340.0;
+    const int total_units = fp_units + task.fp32CmpUnits +
+                            task.intAluUnits;
+    fmax_mhz -= 4.0 * std::log2(1.0 + total_units);
+    if (!task.memPorts.empty()) {
+        double width_sum = 0.0, buffer_kib_sum = 0.0;
+        for (const auto &mp : task.memPorts) {
+            width_sum += mp.widthBits;
+            buffer_kib_sum += static_cast<double>(mp.burstBufferBytes) /
+                              1024.0;
+        }
+        const double nports = static_cast<double>(task.memPorts.size());
+        fmax_mhz -= 0.07 * (width_sum / nports);
+        fmax_mhz -= 0.45 * (buffer_kib_sum / nports);
+    }
+    fmax_mhz = std::max(fmax_mhz, 150.0);
+    out.fmaxCeiling = fmax_mhz * 1.0e6;
+
+    return out;
+}
+
+} // namespace tapacs::hls

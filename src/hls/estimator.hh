@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Analytic resource/timing estimator (the Vitis HLS stand-in).
+ *
+ * Per-unit costs are calibrated against UltraScale+ synthesis
+ * results so that the CNN systolic-array utilization table of the
+ * paper (Table 8) reproduces: a 13x4 AutoSA grid lands near 20 % LUT
+ * / 25 % DSP of a U55C and scales linearly with grid size.
+ */
+
+#ifndef TAPACS_HLS_ESTIMATOR_HH
+#define TAPACS_HLS_ESTIMATOR_HH
+
+#include "common/units.hh"
+#include "device/resources.hh"
+#include "hls/task_ir.hh"
+
+namespace tapacs::hls
+{
+
+/** Synthesis result for one task. */
+struct SynthesisResult
+{
+    std::string taskName;
+    /** Estimated post-synthesis resource requirement. */
+    ResourceVector area;
+    /** Intrinsic max clock of the module datapath, before any
+     *  floorplanning/congestion effects. */
+    Hertz fmaxCeiling = 0.0;
+    /** Number of FSM states controlling the module. */
+    int fsmStates = 0;
+    /** Pipeline depth of the datapath in cycles. */
+    int pipelineDepth = 0;
+};
+
+/**
+ * Estimate post-synthesis resources and timing for one task.
+ *
+ * The cost model is additive over functional units, storage and
+ * interfaces, matching how HLS binding composes a module.
+ */
+SynthesisResult estimateTask(const TaskIr &task);
+
+/** BRAM18 blocks needed for a buffer of @p bytes in @p banks banks. */
+double bramBlocksFor(Bytes bytes, int banks);
+
+/** URAM blocks needed for a buffer of @p bytes in @p banks banks. */
+double uramBlocksFor(Bytes bytes, int banks);
+
+} // namespace tapacs::hls
+
+#endif // TAPACS_HLS_ESTIMATOR_HH

@@ -1,0 +1,76 @@
+#include "hls/synthesis.hh"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace tapacs::hls
+{
+
+const SynthesisResult *
+ProgramSynthesis::find(const std::string &name) const
+{
+    for (const auto &t : tasks) {
+        if (t.taskName == name)
+            return &t;
+    }
+    return nullptr;
+}
+
+ProgramSynthesis
+synthesizeAll(const std::vector<TaskIr> &tasks, int maxThreads)
+{
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+
+    ProgramSynthesis out;
+    out.tasks.resize(tasks.size());
+
+    int threads = maxThreads > 0
+                      ? maxThreads
+                      : static_cast<int>(std::thread::hardware_concurrency());
+    threads = std::max(1, std::min<int>(threads,
+                                        static_cast<int>(tasks.size())));
+    out.threadsUsed = threads;
+
+    if (threads == 1) {
+        for (size_t i = 0; i < tasks.size(); ++i)
+            out.tasks[i] = estimateTask(tasks[i]);
+    } else {
+        std::atomic<size_t> next{0};
+        auto worker = [&]() {
+            while (true) {
+                const size_t i = next.fetch_add(1);
+                if (i >= tasks.size())
+                    return;
+                out.tasks[i] = estimateTask(tasks[i]);
+            }
+        };
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (int t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    out.elapsedSeconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    return out;
+}
+
+void
+applySynthesis(TaskGraph &graph, const ProgramSynthesis &synth)
+{
+    for (const auto &result : synth.tasks) {
+        const VertexId v = graph.findVertex(result.taskName);
+        if (v < 0)
+            fatal("synthesized task '%s' has no vertex in graph '%s'",
+                  result.taskName.c_str(), graph.name().c_str());
+        graph.vertex(v).area = result.area;
+    }
+}
+
+} // namespace tapacs::hls

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Pre-synthesis task description (the "untimed C++" stand-in).
+ *
+ * In the real TAPA-CS flow each C++ task function is synthesized by
+ * Vitis HLS into an RTL module; TAPA-CS only consumes the resulting
+ * resource profile and interface list. Since Vitis is unavailable in
+ * this reproduction, a TaskIr captures what HLS would have extracted
+ * from the source: the instantiated functional units, on-chip
+ * buffering, stream interfaces and AXI memory ports. The estimator
+ * in estimator.hh turns a TaskIr into the resource vector and timing
+ * characteristics the rest of the flow uses.
+ */
+
+#ifndef TAPACS_HLS_TASK_IR_HH
+#define TAPACS_HLS_TASK_IR_HH
+
+#include <string>
+#include <vector>
+
+#include "common/units.hh"
+
+namespace tapacs::hls
+{
+
+/** One stream (FIFO) interface of a task. */
+struct StreamPort
+{
+    std::string name;
+    int widthBits = 32;
+    bool isInput = true;
+};
+
+/** One AXI memory-mapped (HBM/DDR) interface of a task. */
+struct MemPort
+{
+    std::string name;
+    int widthBits = 512;
+    /** Burst buffer size backing the port. */
+    Bytes burstBufferBytes = 4096;
+};
+
+/**
+ * What HLS scheduling/binding would instantiate for one task.
+ */
+struct TaskIr
+{
+    std::string name;
+
+    /** @name Datapath functional units (post-unroll instances).
+     *  @{ */
+    int fp32AddUnits = 0;
+    int fp32MulUnits = 0;
+    int fp32CmpUnits = 0;
+    int intAluUnits = 0;
+    /** @} */
+
+    /** Control FSM state count of the module. */
+    int fsmStates = 4;
+
+    /** On-chip scratchpad buffering. */
+    Bytes localBufferBytes = 0;
+    /** Prefer URAM over BRAM for large buffers. */
+    bool preferUram = false;
+    /** Number of parallel banks the buffer is partitioned into. */
+    int bufferBanks = 1;
+
+    std::vector<StreamPort> streamPorts;
+    std::vector<MemPort> memPorts;
+
+    /** Add a stream port (chaining helper). */
+    TaskIr &addStream(const std::string &port_name, int width_bits,
+                      bool is_input);
+
+    /** Add a memory port (chaining helper). */
+    TaskIr &addMemPort(const std::string &port_name, int width_bits,
+                       Bytes burst_buffer_bytes = 4096);
+};
+
+} // namespace tapacs::hls
+
+#endif // TAPACS_HLS_TASK_IR_HH

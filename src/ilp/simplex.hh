@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Two-phase primal simplex solver for the LP relaxation of a Model.
+ *
+ * This is the workhorse under the branch-and-bound ILP solver. It
+ * accepts any Model (integrality is ignored here), converts it to
+ * standard form (shifted non-negative variables, slack/surplus/
+ * artificial columns), and runs dense tableau simplex with Dantzig
+ * pricing and a Bland's-rule anti-cycling fallback.
+ *
+ * The floorplanning LPs in this project are small-to-medium dense
+ * systems (hundreds to a few thousand columns after coarsening), for
+ * which a dense tableau is simple, predictable and fast enough — see
+ * bench_micro_solver for measured pivot throughput.
+ */
+
+#ifndef TAPACS_ILP_SIMPLEX_HH
+#define TAPACS_ILP_SIMPLEX_HH
+
+#include <vector>
+
+#include "ilp/model.hh"
+
+namespace tapacs::ilp
+{
+
+/** Options controlling a single LP solve. */
+struct SimplexOptions
+{
+    /** Numerical tolerance for feasibility / reduced costs. */
+    double tol = 1e-7;
+    /** Hard cap on simplex pivots per phase (0 = auto from size). */
+    int maxIterations = 0;
+};
+
+/** Result of an LP relaxation solve. */
+struct LpResult
+{
+    SolveStatus status = SolveStatus::LimitReached;
+    double objective = 0.0;
+    std::vector<double> values; ///< one value per model variable
+};
+
+/**
+ * Solve the LP relaxation of @p model.
+ *
+ * @param model the MILP whose relaxation to solve.
+ * @param boundsLower optional per-variable lower-bound overrides
+ *        (used by branch-and-bound); empty = use model bounds.
+ * @param boundsUpper optional per-variable upper-bound overrides.
+ * @param options numerical options.
+ * @return LP status, objective and a full variable assignment.
+ */
+LpResult solveLp(const Model &model,
+                 const std::vector<double> &boundsLower = {},
+                 const std::vector<double> &boundsUpper = {},
+                 const SimplexOptions &options = {});
+
+} // namespace tapacs::ilp
+
+#endif // TAPACS_ILP_SIMPLEX_HH

@@ -1,0 +1,265 @@
+#include "ilp/solver.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tapacs::ilp
+{
+
+namespace
+{
+
+/** Pending branch-and-bound node: per-variable bound overrides. */
+struct Node
+{
+    std::vector<double> lo;
+    std::vector<double> hi;
+    double parentBound = -std::numeric_limits<double>::infinity();
+};
+
+double
+nowSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+BranchBoundSolver::BranchBoundSolver(SolverOptions options)
+    : options_(options)
+{
+}
+
+Solution
+BranchBoundSolver::solve(const Model &model,
+                         const std::vector<double> &warmStart)
+{
+    stats_ = SolverStats{};
+    const double t_start = nowSeconds();
+    const int n = model.numVars();
+    const std::vector<VarId> int_vars = model.integerVars();
+
+    Solution best;
+    best.status = SolveStatus::LimitReached;
+    double incumbent = std::numeric_limits<double>::infinity();
+
+    if (!warmStart.empty() && model.isFeasible(warmStart, options_.intTol)) {
+        best.status = SolveStatus::Feasible;
+        best.values = warmStart;
+        best.objective = model.objective().evaluate(warmStart);
+        incumbent = best.objective;
+    }
+
+    // Depth-first stack; LIFO keeps memory small and finds integer
+    // solutions quickly, which matters more than best-bound order for
+    // the well-structured partitioning models we feed it.
+    std::vector<Node> stack;
+    {
+        Node root;
+        root.lo.resize(n);
+        root.hi.resize(n);
+        for (VarId v = 0; v < n; ++v) {
+            root.lo[v] = model.var(v).lower;
+            root.hi[v] = model.var(v).upper;
+        }
+        stack.push_back(std::move(root));
+    }
+
+    bool exhausted_cleanly = true;
+    bool root_infeasible = false;
+    bool root_unbounded = false;
+
+    while (!stack.empty()) {
+        if (stats_.nodesExplored >= options_.maxNodes) {
+            exhausted_cleanly = false;
+            break;
+        }
+        if (options_.timeLimitSeconds > 0.0 &&
+            nowSeconds() - t_start > options_.timeLimitSeconds) {
+            exhausted_cleanly = false;
+            break;
+        }
+
+        Node node = std::move(stack.back());
+        stack.pop_back();
+        ++stats_.nodesExplored;
+
+        if (node.parentBound >= incumbent - options_.relativeGap *
+                                                (1.0 + std::abs(incumbent)))
+            continue;
+
+        LpResult lp = solveLp(model, node.lo, node.hi, options_.lp);
+        ++stats_.lpSolves;
+
+        if (lp.status == SolveStatus::Infeasible) {
+            if (stats_.nodesExplored == 1)
+                root_infeasible = true;
+            continue;
+        }
+        if (lp.status == SolveStatus::Unbounded) {
+            if (stats_.nodesExplored == 1) {
+                root_unbounded = true;
+                break;
+            }
+            // An LP bounded at the root cannot become unbounded in a
+            // child whose feasible set is a subset; treat as numeric
+            // trouble and skip.
+            warn("branch-and-bound: child LP reported unbounded");
+            continue;
+        }
+        if (lp.status == SolveStatus::LimitReached) {
+            exhausted_cleanly = false;
+            continue;
+        }
+
+        if (lp.objective >= incumbent - options_.relativeGap *
+                                            (1.0 + std::abs(incumbent)))
+            continue;
+
+        // Find the most fractional integral variable.
+        VarId branch_var = -1;
+        double worst_frac = options_.intTol;
+        for (VarId v : int_vars) {
+            const double x = lp.values[v];
+            const double frac = std::abs(x - std::round(x));
+            if (frac > worst_frac) {
+                worst_frac = frac;
+                branch_var = v;
+            }
+        }
+
+        if (branch_var < 0) {
+            // Integer feasible: round off numeric fuzz and accept.
+            std::vector<double> vals = lp.values;
+            for (VarId v : int_vars)
+                vals[v] = std::round(vals[v]);
+            const double obj = model.objective().evaluate(vals);
+            if (obj < incumbent &&
+                model.isFeasible(vals, 1e-5)) {
+                incumbent = obj;
+                best.values = std::move(vals);
+                best.objective = obj;
+                best.status = SolveStatus::Feasible;
+            }
+            continue;
+        }
+
+        const double x = lp.values[branch_var];
+        const double floor_x = std::floor(x);
+
+        Node down = node;
+        down.hi[branch_var] = floor_x;
+        down.parentBound = lp.objective;
+        Node up = std::move(node);
+        up.lo[branch_var] = floor_x + 1.0;
+        up.parentBound = lp.objective;
+
+        // Explore the side nearer the fractional value first.
+        if (x - floor_x > 0.5) {
+            stack.push_back(std::move(down));
+            stack.push_back(std::move(up));
+        } else {
+            stack.push_back(std::move(up));
+            stack.push_back(std::move(down));
+        }
+    }
+
+    stats_.wallSeconds = nowSeconds() - t_start;
+
+    if (root_unbounded) {
+        best.status = SolveStatus::Unbounded;
+        return best;
+    }
+    if (best.status == SolveStatus::Feasible && exhausted_cleanly) {
+        best.status = SolveStatus::Optimal;
+        stats_.provenOptimal = true;
+    } else if (best.status == SolveStatus::LimitReached &&
+               exhausted_cleanly) {
+        best.status = SolveStatus::Infeasible;
+        (void)root_infeasible;
+    }
+    return best;
+}
+
+Solution
+ExhaustiveSolver::solve(const Model &model, std::uint64_t maxStates)
+{
+    const std::vector<VarId> int_vars = model.integerVars();
+    const int n = model.numVars();
+
+    // Compute the enumeration domain of each integral variable.
+    std::vector<long> lo(int_vars.size()), hi(int_vars.size());
+    std::uint64_t states = 1;
+    for (size_t i = 0; i < int_vars.size(); ++i) {
+        const Variable &v = model.var(int_vars[i]);
+        tapacs_assert(std::isfinite(v.lower) && std::isfinite(v.upper));
+        lo[i] = std::lround(std::ceil(v.lower));
+        hi[i] = std::lround(std::floor(v.upper));
+        if (lo[i] > hi[i]) {
+            Solution s;
+            s.status = SolveStatus::Infeasible;
+            return s;
+        }
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(hi[i] - lo[i] + 1);
+        if (states > maxStates / span) {
+            panic("ExhaustiveSolver: search space exceeds %llu states",
+                  static_cast<unsigned long long>(maxStates));
+        }
+        states *= span;
+    }
+
+    Solution best;
+    best.status = SolveStatus::Infeasible;
+    double incumbent = std::numeric_limits<double>::infinity();
+
+    std::vector<long> cur(lo);
+    bool done = int_vars.empty() ? false : false;
+    std::uint64_t visited = 0;
+    while (!done) {
+        ++visited;
+        // Fix the integral variables via bound overrides, then let the
+        // LP place any continuous variables optimally.
+        std::vector<double> blo(n), bhi(n);
+        for (VarId v = 0; v < n; ++v) {
+            blo[v] = model.var(v).lower;
+            bhi[v] = model.var(v).upper;
+        }
+        for (size_t i = 0; i < int_vars.size(); ++i) {
+            blo[int_vars[i]] = static_cast<double>(cur[i]);
+            bhi[int_vars[i]] = static_cast<double>(cur[i]);
+        }
+        LpResult lp = solveLp(model, blo, bhi);
+        if (lp.status == SolveStatus::Optimal && lp.objective < incumbent &&
+            model.isFeasible(lp.values, 1e-5)) {
+            incumbent = lp.objective;
+            best.values = lp.values;
+            best.objective = lp.objective;
+            best.status = SolveStatus::Optimal;
+        }
+
+        // Odometer increment.
+        if (int_vars.empty())
+            break;
+        size_t i = 0;
+        while (i < cur.size()) {
+            if (cur[i] < hi[i]) {
+                ++cur[i];
+                break;
+            }
+            cur[i] = lo[i];
+            ++i;
+        }
+        if (i == cur.size())
+            done = true;
+    }
+    (void)visited;
+    return best;
+}
+
+} // namespace tapacs::ilp

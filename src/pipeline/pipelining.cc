@@ -1,0 +1,220 @@
+#include "pipeline/pipelining.hh"
+
+#include <algorithm>
+#include <climits>
+#include <cmath>
+#include <deque>
+
+#include "common/logging.hh"
+#include "graph/algorithms.hh"
+
+namespace tapacs
+{
+
+namespace
+{
+
+/**
+ * Resource cost of the pipeline registers / balancing FIFO on one
+ * edge. Register stages are plain flops; balancing depth is built
+ * from SRL shift registers, spilling to BRAM for deep, wide FIFOs.
+ */
+ResourceVector
+edgeHardwareCost(int widthBits, int stages, int balanceDepth)
+{
+    ResourceVector cost;
+    cost[ResourceKind::Ff] += static_cast<double>(widthBits) * stages;
+    cost[ResourceKind::Lut] +=
+        0.25 * static_cast<double>(widthBits) * stages;
+    if (balanceDepth > 0) {
+        const double bits =
+            static_cast<double>(widthBits) * balanceDepth;
+        if (bits > 18432.0) {
+            cost[ResourceKind::Bram] += std::ceil(bits / 18432.0);
+        } else {
+            // SRL32-based: one LUT per bit per 32 depth.
+            cost[ResourceKind::Lut] +=
+                widthBits * std::ceil(balanceDepth / 32.0);
+            cost[ResourceKind::Ff] += widthBits;
+        }
+    }
+    return cost;
+}
+
+/**
+ * Per-device latency balancing. Works on the SCC condensation of
+ * the device's intra-edges (cycles are throughput-regulated by FIFO
+ * backpressure and cannot be statically balanced).
+ */
+void
+balanceDevice(const TaskGraph &g, const DevicePartition &partition,
+              DeviceId dev, PipelinePlan &plan)
+{
+    // Build the intra-device subgraph with graph-local ids.
+    TaskGraph sub(g.name() + ".dev");
+    std::vector<int> subOf(g.numVertices(), -1);
+    std::vector<EdgeId> edgeMap; // sub edge -> original edge
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (partition.deviceOf[v] == dev)
+            subOf[v] = sub.addVertex(Vertex{g.vertex(v).name, {}, {}});
+    }
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        if (subOf[edge.src] >= 0 && subOf[edge.dst] >= 0) {
+            sub.addEdge(subOf[edge.src], subOf[edge.dst],
+                        edge.widthBits);
+            edgeMap.push_back(e);
+        }
+    }
+    if (sub.numEdges() == 0)
+        return;
+
+    int num_comps = 0;
+    const std::vector<int> scc =
+        stronglyConnectedComponents(sub, &num_comps);
+
+    // Longest added-latency path per component over the condensation.
+    // Kahn order over components.
+    std::vector<std::vector<std::pair<int, int>>> cedges(num_comps);
+    std::vector<int> indeg(num_comps, 0);
+    for (int se = 0; se < sub.numEdges(); ++se) {
+        const Edge &sedge = sub.edge(se);
+        const int cu = scc[sedge.src], cv = scc[sedge.dst];
+        if (cu == cv)
+            continue;
+        cedges[cu].push_back({cv, plan.edges[edgeMap[se]].stages});
+        ++indeg[cv];
+    }
+    std::vector<int> level(num_comps, 0);
+    std::deque<int> ready;
+    for (int c = 0; c < num_comps; ++c) {
+        if (indeg[c] == 0)
+            ready.push_back(c);
+    }
+    int processed = 0;
+    while (!ready.empty()) {
+        const int c = ready.front();
+        ready.pop_front();
+        ++processed;
+        for (auto [to, w] : cedges[c]) {
+            level[to] = std::max(level[to], level[c] + w);
+            if (--indeg[to] == 0)
+                ready.push_back(to);
+        }
+    }
+    tapacs_assert(processed == num_comps);
+
+    // Slack per cross-component edge becomes balancing FIFO depth.
+    for (int se = 0; se < sub.numEdges(); ++se) {
+        const Edge &sedge = sub.edge(se);
+        const int cu = scc[sedge.src], cv = scc[sedge.dst];
+        if (cu == cv)
+            continue;
+        EdgePipelining &ep = plan.edges[edgeMap[se]];
+        const int slack = level[cv] - level[cu] - ep.stages;
+        tapacs_assert(slack >= 0);
+        ep.balanceDepth = slack;
+    }
+}
+
+} // namespace
+
+PipelinePlan
+planPipelining(const TaskGraph &g, const Cluster &cluster,
+               const DevicePartition &partition,
+               const SlotPlacement &placement,
+               const PipelineOptions &options)
+{
+    PipelinePlan plan;
+    plan.edges.resize(g.numEdges());
+    plan.addedAreaPerDevice.assign(cluster.numDevices(),
+                                   ResourceVector{});
+
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        EdgePipelining &ep = plan.edges[e];
+        if (partition.deviceOf[edge.src] != partition.deviceOf[edge.dst])
+            continue; // the network layer owns inter-device FIFOs
+        ep.crossings =
+            placement.slotOf[edge.src].manhattan(placement.slotOf[edge.dst]);
+        ep.stages = ep.crossings * options.stagesPerCrossing;
+    }
+
+    if (options.balanceReconvergent) {
+        for (DeviceId d = 0; d < cluster.numDevices(); ++d)
+            balanceDevice(g, partition, d, plan);
+    }
+
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        const EdgePipelining &ep = plan.edges[e];
+        plan.totalRegisterBits +=
+            static_cast<double>(edge.widthBits) * ep.stages;
+        plan.totalBalanceBits +=
+            static_cast<double>(edge.widthBits) * ep.balanceDepth;
+        if (ep.stages > 0 || ep.balanceDepth > 0) {
+            plan.addedAreaPerDevice[partition.deviceOf[edge.src]] +=
+                edgeHardwareCost(edge.widthBits, ep.stages,
+                                 ep.balanceDepth);
+        }
+    }
+    return plan;
+}
+
+bool
+isLatencyBalanced(const TaskGraph &g, const DevicePartition &partition,
+                  const PipelinePlan &plan)
+{
+    tapacs_assert(plan.edges.size() ==
+                  static_cast<size_t>(g.numEdges()));
+
+    // Potential argument: the device DAG (over SCC condensation) is
+    // balanced iff there is a potential phi with
+    // phi(dst) - phi(src) == latency(e) for every cross-SCC edge.
+    int num_comps = 0;
+    const std::vector<int> scc =
+        stronglyConnectedComponents(g, &num_comps);
+
+    // Adjacency over components, per device, undirected traversal.
+    struct Arc
+    {
+        int to;
+        int weight;
+    };
+    std::vector<std::vector<Arc>> adj(num_comps);
+    for (EdgeId e = 0; e < g.numEdges(); ++e) {
+        const Edge &edge = g.edge(e);
+        if (partition.deviceOf[edge.src] != partition.deviceOf[edge.dst])
+            continue;
+        const int cu = scc[edge.src], cv = scc[edge.dst];
+        if (cu == cv)
+            continue;
+        const int w = plan.edges[e].stages + plan.edges[e].balanceDepth;
+        adj[cu].push_back({cv, w});
+        adj[cv].push_back({cu, -w});
+    }
+
+    std::vector<long> phi(num_comps, LONG_MIN);
+    for (int s = 0; s < num_comps; ++s) {
+        if (phi[s] != LONG_MIN || adj[s].empty())
+            continue;
+        phi[s] = 0;
+        std::deque<int> queue = {s};
+        while (!queue.empty()) {
+            const int c = queue.front();
+            queue.pop_front();
+            for (const Arc &a : adj[c]) {
+                const long want = phi[c] + a.weight;
+                if (phi[a.to] == LONG_MIN) {
+                    phi[a.to] = want;
+                    queue.push_back(a.to);
+                } else if (phi[a.to] != want) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace tapacs

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Block-level dataflow simulator.
+ *
+ * Executes a placed, pipelined design and reports its end-to-end
+ * latency. Tasks stream their workload in numBlocks equal blocks;
+ * each block flows read -> compute -> write through the task, with
+ * external-memory accesses serialized on the task's bound HBM
+ * channels, compute serialized on the task's datapath, and
+ * inter-FPGA tokens serialized on per-device-pair network ports.
+ * Latency-insensitive semantics: a task fires a block as soon as one
+ * token is available on every input FIFO.
+ *
+ * The model deliberately captures the first-order effects the paper
+ * measures:
+ *  - HBM ports narrower than the 512-bit saturating width only reach
+ *    a proportional fraction of the per-channel bandwidth (the KNN
+ *    motivation: 256-bit ports saturate ~51 % of a bank);
+ *  - several tasks bound to one channel queue behind each other;
+ *  - inter-FPGA transfers ride the AlveoLink curve and contend for
+ *    the device-pair port (the CNN idle-PE effect);
+ *  - block granularity sets the overlap: one giant block per stage
+ *    serializes devices (the Stencil topology), many small blocks
+ *    pipeline them (PageRank, KNN).
+ */
+
+#ifndef TAPACS_SIM_DATAFLOW_SIM_HH
+#define TAPACS_SIM_DATAFLOW_SIM_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "floorplan/hbm_binding.hh"
+#include "floorplan/partition.hh"
+#include "pipeline/pipelining.hh"
+
+namespace tapacs::sim
+{
+
+/** Simulator options. */
+struct SimOptions
+{
+    /** Cap on processed events (guards against model bugs). */
+    std::uint64_t maxEvents = 50'000'000;
+    /** Record one FiringRecord per block (for timeline export). */
+    bool recordTimeline = false;
+};
+
+/** One block's journey through a task (timeline entry). */
+struct FiringRecord
+{
+    VertexId task = -1;
+    int block = 0;
+    Seconds start = 0.0;        ///< inputs available, firing begins
+    Seconds readDone = 0.0;     ///< external-memory reads complete
+    Seconds computeStart = 0.0; ///< datapath service begins (after
+                                ///< queueing behind earlier blocks)
+    Seconds computeDone = 0.0;  ///< datapath finished
+    Seconds writeDone = 0.0;    ///< write-back complete
+};
+
+/** Result of one simulated run. */
+struct SimResult
+{
+    /** End-to-end latency: all tasks finished all blocks. */
+    Seconds makespan = 0.0;
+    /** Completion time per task. */
+    std::vector<Seconds> taskFinish;
+    /** Sum of compute busy time per device. */
+    std::vector<Seconds> deviceComputeBusy;
+    /** Tasks placed on each device. */
+    std::vector<int> deviceTaskCount;
+    /** Bytes moved between devices. */
+    double interDeviceBytes = 0.0;
+    /** Counters: hbm.busy, net.transfers, events, ... */
+    StatRegistry stats;
+    /** Per-block firing timeline (only when recordTimeline is set). */
+    std::vector<FiringRecord> timeline;
+
+    /** Mean fraction of the makespan the device's tasks spent
+     *  computing (1.0 = every PE busy the whole run; low values =
+     *  the idle-PE effect of paper section 5.5). */
+    double deviceUtilization(DeviceId d) const;
+};
+
+/**
+ * Simulate one run of the placed design.
+ *
+ * @param g task graph with work profiles (validated; every edge must
+ *        connect tasks with equal numBlocks).
+ * @param cluster cluster model.
+ * @param partition level-1 device assignment.
+ * @param binding HBM channel binding.
+ * @param plan interconnect pipelining (for intra-FPGA FIFO latency).
+ * @param deviceFmax clock of each device (from the timing model).
+ * @param options simulator options.
+ */
+SimResult simulate(const TaskGraph &g, const Cluster &cluster,
+                   const DevicePartition &partition,
+                   const HbmBinding &binding, const PipelinePlan &plan,
+                   const std::vector<Hertz> &deviceFmax,
+                   const SimOptions &options = {});
+
+/**
+ * Render a recorded timeline as CSV (task,block,start,read_done,
+ * compute_done,write_done), one row per firing, sorted by start
+ * time — loadable into any waterfall/Gantt viewer.
+ */
+std::string timelineCsv(const TaskGraph &g, const SimResult &result);
+
+} // namespace tapacs::sim
+
+#endif // TAPACS_SIM_DATAFLOW_SIM_HH

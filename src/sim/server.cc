@@ -1,0 +1,29 @@
+#include "sim/server.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace tapacs::sim
+{
+
+Seconds
+Server::acquire(Seconds earliest, Seconds duration)
+{
+    tapacs_assert(duration >= 0.0);
+    const Seconds start = std::max(earliest, busyUntil_);
+    busyUntil_ = start + duration;
+    busyTime_ += duration;
+    ++requests_;
+    return busyUntil_;
+}
+
+void
+Server::reset()
+{
+    busyUntil_ = 0.0;
+    busyTime_ = 0.0;
+    requests_ = 0;
+}
+
+} // namespace tapacs::sim

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the four benchmark builders: topology, module counts,
+ * scaling rules and the analytic quantities the paper tabulates.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/cnn.hh"
+#include "apps/knn.hh"
+#include "apps/pagerank.hh"
+#include "apps/stencil.hh"
+#include "graph/algorithms.hh"
+#include "hls/synthesis.hh"
+
+namespace tapacs::apps
+{
+namespace
+{
+
+// ---- Stencil ------------------------------------------------------------
+
+TEST(StencilApp, Table4ComputeIntensity)
+{
+    // Paper Table 4: 208 / 416 / 832 / 1664 ops per byte.
+    for (int iters : {64, 128, 256, 512}) {
+        StencilConfig c;
+        c.iterations = iters;
+        EXPECT_DOUBLE_EQ(stencilOpsPerByte(c), 3.25 * iters);
+    }
+    StencilConfig c64;
+    c64.iterations = 64;
+    EXPECT_DOUBLE_EQ(stencilOpsPerByte(c64), 208.0);
+}
+
+TEST(StencilApp, Table4TransferVolumes)
+{
+    // Paper Table 4: 144.22 / 288.43 / 576.86 / 1153.73 MB.
+    const double expected[] = {144.22e6, 288.44e6, 576.88e6, 1153.76e6};
+    const int iters[] = {64, 128, 256, 512};
+    for (int i = 0; i < 4; ++i) {
+        StencilConfig c;
+        c.iterations = iters[i];
+        EXPECT_NEAR(stencilInterFpgaBytes(c), expected[i], 1.0e5);
+    }
+}
+
+TEST(StencilApp, ScalingRulesMemoryBound)
+{
+    // 64/128 iterations: widen ports, 15 PEs per FPGA.
+    for (int f = 2; f <= 4; ++f) {
+        StencilConfig c = StencilConfig::scaled(64, f);
+        EXPECT_EQ(c.hbmPortWidthBits, 512);
+        EXPECT_EQ(c.totalPes, 15 * f);
+    }
+    EXPECT_EQ(StencilConfig::scaled(64, 1).hbmPortWidthBits, 128);
+}
+
+TEST(StencilApp, ScalingRulesComputeBound)
+{
+    // 256/512 iterations: PEs 15 -> 30 / 60 / 90, ports stay 128.
+    EXPECT_EQ(StencilConfig::scaled(512, 1).totalPes, 15);
+    EXPECT_EQ(StencilConfig::scaled(512, 2).totalPes, 30);
+    EXPECT_EQ(StencilConfig::scaled(512, 3).totalPes, 60);
+    EXPECT_EQ(StencilConfig::scaled(512, 4).totalPes, 90);
+    EXPECT_EQ(StencilConfig::scaled(512, 4).hbmPortWidthBits, 128);
+}
+
+TEST(StencilApp, SingleFpgaStructure)
+{
+    AppDesign app = buildStencil(StencilConfig::scaled(64, 1));
+    app.graph.validate();
+    // reader + 15 PEs + writer, no relays.
+    EXPECT_EQ(app.graph.numVertices(), 17);
+    EXPECT_EQ(app.graph.findVertex("reader"), 0);
+    EXPECT_GE(app.graph.findVertex("writer"), 0);
+    EXPECT_EQ(app.graph.findVertex("relay1"), -1);
+    EXPECT_EQ(app.tasks.size(), 17u);
+    // The wrap edge makes the graph cyclic by design.
+    EXPECT_TRUE(hasCycle(app.graph));
+    EXPECT_DOUBLE_EQ(app.expectedInterFpgaBytes, 0.0);
+}
+
+TEST(StencilApp, MultiFpgaAddsRelays)
+{
+    AppDesign app = buildStencil(StencilConfig::scaled(64, 4));
+    app.graph.validate();
+    // reader + 60 PEs + 3 relays + writer.
+    EXPECT_EQ(app.graph.numVertices(), 65);
+    EXPECT_GE(app.graph.findVertex("relay1"), 0);
+    EXPECT_GE(app.graph.findVertex("relay3"), 0);
+    EXPECT_GT(app.expectedInterFpgaBytes, 0.0);
+}
+
+TEST(StencilApp, WorkMatchesAnalyticOps)
+{
+    StencilConfig c = StencilConfig::scaled(64, 1);
+    AppDesign app = buildStencil(c);
+    // 13 ops x 4096^2 points x 64 iterations.
+    EXPECT_NEAR(app.totalOps, 13.0 * 4096.0 * 4096.0 * 64.0,
+                app.totalOps * 1e-9);
+}
+
+// ---- PageRank -----------------------------------------------------------
+
+TEST(PageRankApp, Table5Datasets)
+{
+    const auto &ds = pagerankDatasets();
+    ASSERT_EQ(ds.size(), 5u);
+    const GraphDataset &patents = pagerankDataset("cit-Patents");
+    EXPECT_EQ(patents.nodes, 3774768);
+    EXPECT_EQ(patents.edges, 16518948);
+    EXPECT_EQ(pagerankDataset("web-Google").edges, 5105039);
+}
+
+TEST(PageRankAppDeath, UnknownDataset)
+{
+    EXPECT_DEATH(pagerankDataset("imaginary"), "unknown");
+}
+
+TEST(PageRankApp, ScaledConfig)
+{
+    const GraphDataset &ds = pagerankDatasets()[0];
+    PageRankConfig c = PageRankConfig::scaled(ds, 3);
+    EXPECT_EQ(c.numPes, 12);
+    EXPECT_EQ(c.numShards, 3);
+}
+
+TEST(PageRankApp, StructureAndCycles)
+{
+    PageRankConfig c =
+        PageRankConfig::scaled(pagerankDatasets()[1], 2);
+    AppDesign app = buildPageRank(c);
+    app.graph.validate();
+    // controller + 2 routers + 8 PEs.
+    EXPECT_EQ(app.graph.numVertices(), 11);
+    // The convergence loop makes it cyclic (the paper calls out the
+    // dependency cycles of this benchmark).
+    EXPECT_TRUE(hasCycle(app.graph));
+}
+
+TEST(PageRankApp, InterFpgaVolumeIndependentOfPes)
+{
+    const GraphDataset &ds = pagerankDataset("cit-Patents");
+    AppDesign two = buildPageRank(PageRankConfig::scaled(ds, 2));
+    AppDesign four = buildPageRank(PageRankConfig::scaled(ds, 4));
+    EXPECT_DOUBLE_EQ(two.expectedInterFpgaBytes,
+                     four.expectedInterFpgaBytes);
+}
+
+TEST(PageRankApp, WorkScalesWithEdges)
+{
+    const GraphDataset &small = pagerankDataset("soc-Slashdot0811");
+    const GraphDataset &big = pagerankDataset("cit-Patents");
+    AppDesign a = buildPageRank(PageRankConfig::scaled(small, 1));
+    AppDesign b = buildPageRank(PageRankConfig::scaled(big, 1));
+    EXPECT_GT(b.totalOps, a.totalOps * 10.0);
+}
+
+// ---- KNN ----------------------------------------------------------------
+
+TEST(KnnApp, SingleFpgaIs27Modules)
+{
+    KnnConfig c = KnnConfig::scaled(4'000'000, 2, 1);
+    AppDesign app = buildKnn(c);
+    app.graph.validate();
+    // 13 blue + 13 yellow + 1 green (paper Fig. 4 / section 5.4).
+    EXPECT_EQ(app.graph.numVertices(), 27);
+    EXPECT_EQ(c.portWidthBits, 256);
+    EXPECT_EQ(c.portBufferBytes, 32_KiB);
+}
+
+TEST(KnnApp, ScaledBlueCounts)
+{
+    // Paper: 36 / 54 / 72 blue modules on 2 / 3 / 4 FPGAs, with the
+    // optimal 512-bit / 128 KiB port configuration.
+    for (int f = 2; f <= 4; ++f) {
+        KnnConfig c = KnnConfig::scaled(4'000'000, 2, f);
+        EXPECT_EQ(c.numBlue, 18 * f);
+        EXPECT_EQ(c.portWidthBits, 512);
+        EXPECT_EQ(c.portBufferBytes, 128_KiB);
+    }
+}
+
+TEST(KnnApp, SearchSpaceRange)
+{
+    // Paper Table 6: 8 MB (N=1M, D=2) to 4 GB (N=8M, D=128).
+    KnnConfig small;
+    small.n = 1'000'000;
+    small.d = 2;
+    EXPECT_DOUBLE_EQ(knnSearchSpaceBytes(small), 8.0e6);
+    KnnConfig large;
+    large.n = 8'000'000;
+    large.d = 128;
+    EXPECT_DOUBLE_EQ(knnSearchSpaceBytes(large), 4.096e9);
+}
+
+TEST(KnnApp, InterFpgaVolumeDependsOnlyOnK)
+{
+    AppDesign a = buildKnn(KnnConfig::scaled(1'000'000, 2, 2));
+    AppDesign b = buildKnn(KnnConfig::scaled(8'000'000, 128, 2));
+    // Same K, same module count -> same cross-FPGA candidate volume
+    // regardless of the 512x larger search space (section 5.4).
+    EXPECT_DOUBLE_EQ(a.expectedInterFpgaBytes, b.expectedInterFpgaBytes);
+}
+
+TEST(KnnApp, TrafficScalesWithSearchSpace)
+{
+    AppDesign a = buildKnn(KnnConfig::scaled(1'000'000, 2, 1));
+    AppDesign b = buildKnn(KnnConfig::scaled(4'000'000, 2, 1));
+    EXPECT_NEAR(b.totalMemBytes / a.totalMemBytes, 4.0, 0.01);
+}
+
+// ---- CNN ----------------------------------------------------------------
+
+TEST(CnnApp, PaperGridPerFpgaCount)
+{
+    EXPECT_EQ(CnnConfig::scaled(1, true).cols, 4);   // Vitis baseline
+    EXPECT_EQ(CnnConfig::scaled(1, false).cols, 8);  // TAPA baseline
+    EXPECT_EQ(CnnConfig::scaled(2).cols, 12);
+    EXPECT_EQ(CnnConfig::scaled(3).cols, 16);
+    EXPECT_EQ(CnnConfig::scaled(4).cols, 20);
+}
+
+TEST(CnnApp, Table7Volumes)
+{
+    // Paper Table 7: 2.14 / 4.28 / 6.42 / 8.57 / 10.71 MB.
+    const double expected[] = {2.14e6, 4.28e6, 6.42e6, 8.56e6, 10.70e6};
+    const int cols[] = {4, 8, 12, 16, 20};
+    for (int i = 0; i < 5; ++i) {
+        CnnConfig c;
+        c.cols = cols[i];
+        EXPECT_NEAR(cnnInterFpgaBytes(c), expected[i], 0.02e6);
+    }
+}
+
+TEST(CnnApp, ModuleCountGrowsWithGrid)
+{
+    AppDesign small = buildCnn(CnnConfig::scaled(1, true));  // 13x4
+    AppDesign large = buildCnn(CnnConfig::scaled(4));        // 13x20
+    small.graph.validate();
+    large.graph.validate();
+    // 13x4: 52 PEs + 13 + 4 feeders + 4 drainers + 3 io modules.
+    EXPECT_EQ(small.graph.numVertices(), 52 + 13 + 4 + 4 + 3);
+    EXPECT_EQ(large.graph.numVertices(), 260 + 13 + 20 + 20 + 3);
+    EXPECT_TRUE(large.prePipelined);
+}
+
+TEST(CnnApp, GridIsAcyclic)
+{
+    AppDesign app = buildCnn(CnnConfig::scaled(2));
+    EXPECT_FALSE(hasCycle(app.graph));
+}
+
+TEST(CnnApp, FixedWorkAcrossGrids)
+{
+    // The compute is set by the layer, not the grid (54.5 MFLOPs per
+    // input).
+    AppDesign a = buildCnn(CnnConfig::scaled(1, true));
+    AppDesign b = buildCnn(CnnConfig::scaled(4));
+    EXPECT_DOUBLE_EQ(a.totalOps, b.totalOps);
+    EXPECT_DOUBLE_EQ(cnnFlopsPerInput(), 54.5e6);
+}
+
+TEST(CnnApp, PeResourceCalibration)
+{
+    // Table 8 anchor: a 13x4 grid lands near 25 % DSP / 20 % LUT of
+    // a U55C (paper: 25.2 % / 20.4 %).
+    AppDesign app = buildCnn(CnnConfig::scaled(1, true));
+    hls::ProgramSynthesis synth = hls::synthesizeAll(app.tasks);
+    hls::applySynthesis(app.graph, synth);
+    const ResourceVector total = app.graph.totalArea();
+    const ResourceVector cap(1146240, 2292480, 1776, 8376, 960);
+    EXPECT_NEAR(total.utilization(ResourceKind::Dsp, cap), 0.252, 0.05);
+    EXPECT_NEAR(total.utilization(ResourceKind::Lut, cap), 0.204, 0.06);
+}
+
+} // namespace
+} // namespace tapacs::apps

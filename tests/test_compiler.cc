@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the end-to-end compiler: modes, fit gates, overheads
+ * and result consistency.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/knn.hh"
+#include "apps/stencil.hh"
+#include "compiler/compiler.hh"
+
+namespace tapacs
+{
+namespace
+{
+
+/** A small design that trivially fits one device. */
+apps::AppDesign
+smallDesign()
+{
+    return apps::buildStencil(apps::StencilConfig::scaled(64, 1));
+}
+
+CompileResult
+run(apps::AppDesign &app, CompileMode mode, int fpgas)
+{
+    Cluster cluster = makePaperTestbed(std::max(1, fpgas));
+    CompileOptions opt;
+    opt.mode = mode;
+    opt.numFpgas = fpgas;
+    return compileProgram(app.graph, app.tasks, cluster, opt);
+}
+
+TEST(Compiler, ModeNames)
+{
+    EXPECT_STREQ(toString(CompileMode::VitisBaseline), "F1-V (Vitis HLS)");
+    EXPECT_STREQ(toString(CompileMode::TapaSingle),
+                 "F1-T (TAPA/AutoBridge)");
+    EXPECT_STREQ(toString(CompileMode::TapaCs), "TAPA-CS");
+}
+
+TEST(Compiler, NetworkIpAreaMatchesPaperOverheads)
+{
+    // Paper section 5.6: per port, LUT 2.04 %, FF 2.94 %, BRAM 2.06 %,
+    // DSP 0 %, URAM 0 %.
+    const DeviceModel dev = makeU55C();
+    const ResourceVector one = networkIpArea(dev, 1);
+    EXPECT_NEAR(one[ResourceKind::Lut], 1146240 * 0.0204, 1.0);
+    EXPECT_NEAR(one[ResourceKind::Ff], 2292480 * 0.0294, 1.0);
+    EXPECT_NEAR(one[ResourceKind::Bram], 1776 * 0.0206, 0.1);
+    EXPECT_DOUBLE_EQ(one[ResourceKind::Dsp], 0.0);
+    EXPECT_DOUBLE_EQ(one[ResourceKind::Uram], 0.0);
+    const ResourceVector two = networkIpArea(dev, 2);
+    EXPECT_DOUBLE_EQ(two[ResourceKind::Lut],
+                     2.0 * one[ResourceKind::Lut]);
+}
+
+TEST(Compiler, AllThreeModesRouteSmallDesign)
+{
+    for (CompileMode mode :
+         {CompileMode::VitisBaseline, CompileMode::TapaSingle}) {
+        apps::AppDesign app = smallDesign();
+        CompileResult r = run(app, mode, 1);
+        EXPECT_TRUE(r.routable) << toString(mode) << ": "
+                                << r.failureReason;
+    }
+    apps::AppDesign app =
+        apps::buildStencil(apps::StencilConfig::scaled(64, 2));
+    CompileResult r = run(app, CompileMode::TapaCs, 2);
+    EXPECT_TRUE(r.routable) << r.failureReason;
+    EXPECT_EQ(r.partition.devicesUsed(), 2);
+}
+
+TEST(Compiler, FloorplanningImprovesFrequency)
+{
+    // The paper's headline: floorplanning + pipelining beats Vitis by
+    // 11-116 %.
+    apps::AppDesign v = smallDesign();
+    apps::AppDesign t = smallDesign();
+    CompileResult vitis = run(v, CompileMode::VitisBaseline, 1);
+    CompileResult tapa = run(t, CompileMode::TapaSingle, 1);
+    ASSERT_TRUE(vitis.routable && tapa.routable);
+    EXPECT_GT(tapa.fmax, vitis.fmax * 1.1);
+}
+
+TEST(Compiler, VitisGateRejectsLargeDesigns)
+{
+    // The 512-bit / 128 KiB KNN configuration fails under Vitis even
+    // on paper (section 3's motivating example): too much area
+    // without a floorplan.
+    apps::KnnConfig big = apps::KnnConfig::scaled(4'000'000, 2, 4);
+    apps::AppDesign app = apps::buildKnn(big);
+    CompileResult r = run(app, CompileMode::VitisBaseline, 1);
+    EXPECT_FALSE(r.routable);
+    EXPECT_FALSE(r.failureReason.empty());
+}
+
+TEST(Compiler, MultiFpgaRoutesWhatSingleCannot)
+{
+    apps::KnnConfig big = apps::KnnConfig::scaled(4'000'000, 2, 4);
+    apps::AppDesign single = apps::buildKnn(big);
+    CompileResult one = run(single, CompileMode::TapaSingle, 1);
+    EXPECT_FALSE(one.routable);
+    apps::AppDesign multi = apps::buildKnn(big);
+    CompileResult four = run(multi, CompileMode::TapaCs, 4);
+    EXPECT_TRUE(four.routable) << four.failureReason;
+}
+
+TEST(Compiler, BaselinesIgnoreExtraFpgas)
+{
+    apps::AppDesign app = smallDesign();
+    Cluster cluster = makePaperTestbed(4);
+    CompileOptions opt;
+    opt.mode = CompileMode::TapaSingle;
+    opt.numFpgas = 4; // ignored: baselines are single-device
+    CompileResult r = compileProgram(app.graph, app.tasks, cluster, opt);
+    ASSERT_TRUE(r.routable);
+    EXPECT_EQ(r.partition.devicesUsed(), 1);
+    // No networking IPs reserved on a single-device flow.
+    EXPECT_TRUE(r.reservedPerDevice.isZero());
+}
+
+TEST(Compiler, MultiFpgaReservesNetworkingIps)
+{
+    apps::AppDesign app =
+        apps::buildStencil(apps::StencilConfig::scaled(64, 2));
+    Cluster cluster = makePaperTestbed(2);
+    CompileOptions opt;
+    opt.mode = CompileMode::TapaCs;
+    opt.numFpgas = 2;
+    CompileResult r = compileProgram(app.graph, app.tasks, cluster, opt);
+    ASSERT_TRUE(r.routable);
+    EXPECT_FALSE(r.reservedPerDevice.isZero());
+}
+
+TEST(Compiler, ResultFieldsConsistent)
+{
+    apps::AppDesign app =
+        apps::buildStencil(apps::StencilConfig::scaled(64, 2));
+    Cluster cluster = makePaperTestbed(2);
+    CompileOptions opt;
+    opt.mode = CompileMode::TapaCs;
+    opt.numFpgas = 2;
+    CompileResult r = compileProgram(app.graph, app.tasks, cluster, opt);
+    ASSERT_TRUE(r.routable);
+    EXPECT_EQ(r.partition.deviceOf.size(),
+              static_cast<size_t>(app.graph.numVertices()));
+    EXPECT_EQ(r.placement.slotOf.size(), r.partition.deviceOf.size());
+    EXPECT_EQ(r.deviceFmax.size(), 2u);
+    EXPECT_GT(r.fmax, 0.0);
+    EXPECT_LE(r.fmax, 300.0e6);
+    for (Hertz f : r.deviceFmax)
+        EXPECT_GE(f, r.fmax - 1.0);
+    EXPECT_GE(r.l1Seconds, 0.0);
+    EXPECT_GE(r.l2Seconds, 0.0);
+    EXPECT_GT(r.cutTrafficBytes, 0.0);
+    // Device areas cover the whole graph.
+    ResourceVector sum;
+    for (const auto &a : r.deviceAreas)
+        sum += a;
+    const ResourceVector total = app.graph.totalArea();
+    EXPECT_NEAR(sum[ResourceKind::Lut], total[ResourceKind::Lut], 1.0);
+}
+
+TEST(CompilerDeath, MoreFpgasThanClusterIsFatal)
+{
+    apps::AppDesign app = smallDesign();
+    Cluster cluster = makePaperTestbed(2);
+    CompileOptions opt;
+    opt.mode = CompileMode::TapaCs;
+    opt.numFpgas = 4;
+    EXPECT_DEATH(compileProgram(app.graph, app.tasks, cluster, opt),
+                 "cluster has");
+}
+
+} // namespace
+} // namespace tapacs

@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Tests for the two-level floorplanners and HBM channel binding —
+ * the paper's eq. 1-4 machinery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "floorplan/hbm_binding.hh"
+#include "floorplan/inter_fpga.hh"
+#include "floorplan/intra_fpga.hh"
+
+namespace tapacs
+{
+namespace
+{
+
+/** A chain graph of n equal vertices with wide links. */
+TaskGraph
+makeChain(int n, double lut_each = 50000.0, int width = 512)
+{
+    TaskGraph g("chain");
+    for (int i = 0; i < n; ++i) {
+        g.addVertex(strprintf("t%d", i),
+                    ResourceVector(lut_each, lut_each * 2.0, 10, 20, 0));
+    }
+    for (int i = 0; i + 1 < n; ++i)
+        g.addEdge(i, i + 1, width, 1.0e6);
+    return g;
+}
+
+/** Random connected graph for property tests. */
+TaskGraph
+makeRandomGraph(int n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    TaskGraph g("rand");
+    for (int i = 0; i < n; ++i) {
+        g.addVertex(strprintf("t%d", i),
+                    ResourceVector(rng.uniformReal(1000, 80000),
+                                   rng.uniformReal(1000, 120000),
+                                   rng.uniformReal(0, 40),
+                                   rng.uniformReal(0, 100), 0));
+    }
+    for (int i = 1; i < n; ++i) {
+        g.addEdge(static_cast<int>(rng.uniformInt(0, i - 1)), i,
+                  32 << rng.uniformInt(0, 4), 1.0e5);
+    }
+    for (int extra = 0; extra < n / 2; ++extra) {
+        const int a = static_cast<int>(rng.uniformInt(0, n - 1));
+        const int b = static_cast<int>(rng.uniformInt(0, n - 1));
+        if (a != b)
+            g.addEdge(a, b, 64, 1.0e5);
+    }
+    return g;
+}
+
+TEST(InterFpga, SingleDeviceTrivial)
+{
+    TaskGraph g = makeChain(5);
+    Cluster c = makePaperTestbed(1);
+    InterFpgaResult r = floorplanInterFpga(g, c);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.partition.devicesUsed(), 1);
+    EXPECT_DOUBLE_EQ(r.cost, 0.0);
+    EXPECT_DOUBLE_EQ(r.cutTrafficBytes, 0.0);
+}
+
+TEST(InterFpga, ChainSplitsContiguously)
+{
+    // A 10-vertex chain on 2 FPGAs: the optimal partition cuts the
+    // chain once; balance forces roughly half on each side.
+    TaskGraph g = makeChain(10);
+    Cluster c = makePaperTestbed(2);
+    InterFpgaResult r = floorplanInterFpga(g, c);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.partition.devicesUsed(), 2);
+    EXPECT_EQ(cutEdgeCount(g, r.partition), 1);
+}
+
+TEST(InterFpga, RespectsThresholdOnRandomGraphs)
+{
+    for (int seed = 0; seed < 6; ++seed) {
+        TaskGraph g = makeRandomGraph(24, 900 + seed);
+        Cluster c = makePaperTestbed(3);
+        InterFpgaOptions opt;
+        opt.seed = seed;
+        InterFpgaResult r = floorplanInterFpga(g, c, opt);
+        ASSERT_TRUE(r.feasible) << "seed " << seed;
+        EXPECT_TRUE(respectsThreshold(g, c, r.partition, opt.reserved,
+                                      opt.threshold))
+            << "seed " << seed;
+    }
+}
+
+TEST(InterFpga, InfeasibleWhenTooBig)
+{
+    // One vertex larger than a whole device.
+    TaskGraph g("huge");
+    g.addVertex("big", ResourceVector(2.0e6, 4.0e6, 2000, 9000, 1000));
+    Cluster c = makePaperTestbed(2);
+    InterFpgaResult r = floorplanInterFpga(g, c);
+    EXPECT_FALSE(r.feasible);
+}
+
+TEST(InterFpga, HeuristicModeAlsoFeasible)
+{
+    TaskGraph g = makeRandomGraph(30, 42);
+    Cluster c = makePaperTestbed(4);
+    InterFpgaOptions opt;
+    opt.useIlp = false;
+    InterFpgaResult r = floorplanInterFpga(g, c, opt);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_TRUE(respectsThreshold(g, c, r.partition, opt.reserved,
+                                  opt.threshold));
+}
+
+TEST(InterFpga, IlpNoWorseThanHeuristicOnSmallGraph)
+{
+    TaskGraph g = makeChain(8, 80000.0);
+    Cluster c = makePaperTestbed(2);
+    InterFpgaOptions ilp_opt;
+    InterFpgaOptions greedy_opt;
+    greedy_opt.useIlp = false;
+    InterFpgaResult with_ilp = floorplanInterFpga(g, c, ilp_opt);
+    InterFpgaResult greedy = floorplanInterFpga(g, c, greedy_opt);
+    ASSERT_TRUE(with_ilp.feasible);
+    ASSERT_TRUE(greedy.feasible);
+    EXPECT_LE(with_ilp.cost, greedy.cost + 1e-9);
+}
+
+TEST(InterFpga, Deterministic)
+{
+    TaskGraph g = makeRandomGraph(20, 7);
+    Cluster c = makePaperTestbed(2);
+    InterFpgaResult a = floorplanInterFpga(g, c);
+    InterFpgaResult b = floorplanInterFpga(g, c);
+    ASSERT_TRUE(a.feasible && b.feasible);
+    EXPECT_EQ(a.partition.deviceOf, b.partition.deviceOf);
+    EXPECT_DOUBLE_EQ(a.cost, b.cost);
+}
+
+TEST(InterFpga, CostMatchesEvaluator)
+{
+    TaskGraph g = makeRandomGraph(16, 3);
+    Cluster c = makePaperTestbed(2);
+    InterFpgaResult r = floorplanInterFpga(g, c);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_DOUBLE_EQ(r.cost, interFpgaCost(g, c, r.partition));
+    EXPECT_DOUBLE_EQ(r.cutTrafficBytes,
+                     interFpgaTrafficBytes(g, r.partition));
+}
+
+TEST(InterFpga, ReportsElapsedAndCoarseSize)
+{
+    TaskGraph g = makeRandomGraph(60, 5);
+    Cluster c = makePaperTestbed(4);
+    InterFpgaOptions opt;
+    opt.coarseLimit = 20;
+    InterFpgaResult r = floorplanInterFpga(g, c, opt);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_GT(r.elapsedSeconds, 0.0);
+    EXPECT_LE(r.coarseVertices, 60);
+    EXPECT_GE(r.coarseVertices, 1);
+}
+
+// ---- Intra-FPGA ---------------------------------------------------------
+
+TEST(IntraFpga, AllSlotsInsideGrid)
+{
+    TaskGraph g = makeRandomGraph(20, 17);
+    Cluster c = makePaperTestbed(1);
+    DevicePartition part;
+    part.deviceOf.assign(g.numVertices(), 0);
+    IntraFpgaResult r = floorplanIntraFpga(g, c, part);
+    const DeviceModel &dev = c.device();
+    for (const SlotCoord &sc : r.placement.slotOf) {
+        EXPECT_GE(sc.col, 0);
+        EXPECT_LT(sc.col, dev.cols());
+        EXPECT_GE(sc.row, 0);
+        EXPECT_LT(sc.row, dev.rows());
+    }
+    EXPECT_GE(r.cost, 0.0);
+    EXPECT_DOUBLE_EQ(r.cost, intraFpgaCost(g, part, r.placement));
+}
+
+TEST(IntraFpga, MemoryTasksAttractedToHbmRow)
+{
+    // One memory-heavy task plus an unconnected compute task: the
+    // memory task must land in the memory row.
+    TaskGraph g("hbm");
+    Vertex mem_task;
+    mem_task.name = "mem";
+    mem_task.area = ResourceVector(1000, 1000, 10, 0, 0);
+    mem_task.work.memChannels = 16;
+    g.addVertex(mem_task);
+    g.addVertex("compute", ResourceVector(1000, 1000, 0, 10, 0));
+    Cluster c = makePaperTestbed(1);
+    DevicePartition part;
+    part.deviceOf = {0, 0};
+    IntraFpgaResult r = floorplanIntraFpga(g, c, part);
+    EXPECT_EQ(r.placement.slotOf[0].row, c.device().memoryRow());
+}
+
+TEST(IntraFpga, ConnectedTasksPlacedTogether)
+{
+    // Two tiny connected tasks with no other pressure share a slot.
+    TaskGraph g("pair");
+    g.addVertex("a", ResourceVector(100, 100, 0, 0, 0));
+    g.addVertex("b", ResourceVector(100, 100, 0, 0, 0));
+    g.addEdge(0, 1, 512);
+    Cluster c = makePaperTestbed(1);
+    DevicePartition part;
+    part.deviceOf = {0, 0};
+    IntraFpgaResult r = floorplanIntraFpga(g, c, part);
+    EXPECT_EQ(r.placement.slotOf[0].manhattan(r.placement.slotOf[1]), 0);
+}
+
+TEST(IntraFpga, BalanceSpreadsLargeDesigns)
+{
+    // 12 fat unconnected tasks cannot all sit in one slot.
+    TaskGraph g("fat");
+    for (int i = 0; i < 12; ++i)
+        g.addVertex(strprintf("t%d", i),
+                    ResourceVector(80000, 120000, 50, 200, 0));
+    Cluster c = makePaperTestbed(1);
+    DevicePartition part;
+    part.deviceOf.assign(12, 0);
+    IntraFpgaResult r = floorplanIntraFpga(g, c, part);
+    std::set<std::pair<int, int>> used;
+    for (const SlotCoord &sc : r.placement.slotOf)
+        used.insert({sc.col, sc.row});
+    EXPECT_GE(used.size(), 4u);
+}
+
+TEST(IntraFpga, HandlesMultiDevicePartitions)
+{
+    TaskGraph g = makeRandomGraph(24, 55);
+    Cluster c = makePaperTestbed(2);
+    InterFpgaResult l1 = floorplanInterFpga(g, c);
+    ASSERT_TRUE(l1.feasible);
+    IntraFpgaResult l2 = floorplanIntraFpga(g, c, l1.partition);
+    EXPECT_EQ(l2.placement.slotOf.size(),
+              static_cast<size_t>(g.numVertices()));
+    EXPECT_GT(l2.elapsedSeconds, 0.0);
+}
+
+// ---- HBM binding --------------------------------------------------------
+
+TEST(HbmBinding, GrantsRequestedChannels)
+{
+    TaskGraph g("bind");
+    Vertex t;
+    t.name = "reader";
+    t.work.memChannels = 4;
+    g.addVertex(t);
+    Cluster c = makePaperTestbed(1);
+    DevicePartition part;
+    part.deviceOf = {0};
+    SlotPlacement place;
+    place.slotOf = {SlotCoord{0, 0}};
+    HbmBinding b = bindHbmChannels(g, c, part, place);
+    EXPECT_EQ(b.channelsOf[0].size(), 4u);
+    EXPECT_EQ(b.maxContention(0), 1);
+}
+
+TEST(HbmBinding, NoContentionUnderSubscription)
+{
+    // 8 tasks x 4 channels = 32 requests on 32 channels.
+    TaskGraph g("full");
+    for (int i = 0; i < 8; ++i) {
+        Vertex t;
+        t.name = strprintf("t%d", i);
+        t.work.memChannels = 4;
+        g.addVertex(t);
+    }
+    Cluster c = makePaperTestbed(1);
+    DevicePartition part;
+    part.deviceOf.assign(8, 0);
+    SlotPlacement place;
+    place.slotOf.assign(8, SlotCoord{0, 0});
+    HbmBinding b = bindHbmChannels(g, c, part, place);
+    EXPECT_EQ(b.maxContention(0), 1);
+    int granted = 0;
+    for (int users : b.usersPerChannel[0])
+        granted += users;
+    EXPECT_EQ(granted, 32);
+}
+
+TEST(HbmBinding, OversubscriptionSharesEvenly)
+{
+    // 40 requests on 32 channels: max contention exactly 2.
+    TaskGraph g("over");
+    for (int i = 0; i < 10; ++i) {
+        Vertex t;
+        t.name = strprintf("t%d", i);
+        t.work.memChannels = 4;
+        g.addVertex(t);
+    }
+    Cluster c = makePaperTestbed(1);
+    DevicePartition part;
+    part.deviceOf.assign(10, 0);
+    SlotPlacement place;
+    place.slotOf.assign(10, SlotCoord{0, 0});
+    HbmBinding b = bindHbmChannels(g, c, part, place);
+    EXPECT_EQ(b.maxContention(0), 2);
+}
+
+TEST(HbmBinding, PrefersNearbyColumns)
+{
+    // A single task in column 1 gets a column-1 channel.
+    TaskGraph g("near");
+    Vertex t;
+    t.name = "x";
+    t.work.memChannels = 1;
+    g.addVertex(t);
+    Cluster c = makePaperTestbed(1);
+    DevicePartition part;
+    part.deviceOf = {0};
+    SlotPlacement place;
+    place.slotOf = {SlotCoord{1, 0}};
+    HbmBinding b = bindHbmChannels(g, c, part, place);
+    ASSERT_EQ(b.channelsOf[0].size(), 1u);
+    EXPECT_EQ(channelColumn(c.device(), b.channelsOf[0][0]), 1);
+    EXPECT_DOUBLE_EQ(b.displacementCost, 0.0);
+}
+
+TEST(HbmBinding, ChannelColumnSplit)
+{
+    const DeviceModel dev = makeU55C();
+    EXPECT_EQ(channelColumn(dev, 0), 0);
+    EXPECT_EQ(channelColumn(dev, 15), 0);
+    EXPECT_EQ(channelColumn(dev, 16), 1);
+    EXPECT_EQ(channelColumn(dev, 31), 1);
+}
+
+TEST(PartitionHelpers, PerDeviceAreaSums)
+{
+    TaskGraph g = makeChain(4, 1000.0);
+    Cluster c = makePaperTestbed(2);
+    DevicePartition p;
+    p.deviceOf = {0, 0, 1, 1};
+    auto areas = perDeviceArea(g, c, p);
+    EXPECT_DOUBLE_EQ(areas[0][ResourceKind::Lut], 2000.0);
+    EXPECT_DOUBLE_EQ(areas[1][ResourceKind::Lut], 2000.0);
+    EXPECT_EQ(p.devicesUsed(), 2);
+}
+
+} // namespace
+} // namespace tapacs

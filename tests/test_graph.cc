@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the task-graph IR and graph algorithms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "common/logging.hh"
+#include "graph/algorithms.hh"
+#include "graph/task_graph.hh"
+
+namespace tapacs
+{
+namespace
+{
+
+TaskGraph
+makeDiamond()
+{
+    TaskGraph g("diamond");
+    const VertexId a = g.addVertex("a", ResourceVector{});
+    const VertexId b = g.addVertex("b", ResourceVector{});
+    const VertexId c = g.addVertex("c", ResourceVector{});
+    const VertexId d = g.addVertex("d", ResourceVector{});
+    g.addEdge(a, b, 32);
+    g.addEdge(a, c, 64);
+    g.addEdge(b, d, 32);
+    g.addEdge(c, d, 64);
+    return g;
+}
+
+TEST(TaskGraph, BasicConstruction)
+{
+    TaskGraph g = makeDiamond();
+    EXPECT_EQ(g.numVertices(), 4);
+    EXPECT_EQ(g.numEdges(), 4);
+    EXPECT_EQ(g.outEdges(0).size(), 2u);
+    EXPECT_EQ(g.inEdges(3).size(), 2u);
+    EXPECT_EQ(g.findVertex("c"), 2);
+    EXPECT_EQ(g.findVertex("zzz"), -1);
+    g.validate();
+}
+
+TEST(TaskGraph, TotalAreaAndTraffic)
+{
+    TaskGraph g("sum");
+    g.addVertex("a", ResourceVector(100, 200, 1, 2, 0));
+    g.addVertex("b", ResourceVector(50, 100, 3, 0, 1));
+    g.addEdge(0, 1, 32, 1000.0);
+    const ResourceVector total = g.totalArea();
+    EXPECT_DOUBLE_EQ(total[ResourceKind::Lut], 150.0);
+    EXPECT_DOUBLE_EQ(total[ResourceKind::Uram], 1.0);
+    EXPECT_DOUBLE_EQ(g.totalTrafficBytes(), 1000.0);
+}
+
+TEST(TaskGraphDeath, ValidateCatchesDuplicateNames)
+{
+    TaskGraph g("dup");
+    g.addVertex("same", ResourceVector{});
+    g.addVertex("same", ResourceVector{});
+    EXPECT_DEATH(g.validate(), "duplicate task name");
+}
+
+TEST(TaskGraphDeath, ValidateCatchesBadWork)
+{
+    TaskGraph g("bad");
+    Vertex v;
+    v.name = "t";
+    v.work.numBlocks = 0;
+    g.addVertex(v);
+    EXPECT_DEATH(g.validate(), "numBlocks");
+}
+
+TEST(TaskGraph, DotExportContainsVerticesAndEdges)
+{
+    TaskGraph g = makeDiamond();
+    const std::string dot = g.toDot();
+    EXPECT_NE(dot.find("digraph"), std::string::npos);
+    EXPECT_NE(dot.find("\"a\""), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+}
+
+TEST(Algorithms, TopologicalOrderOnDag)
+{
+    TaskGraph g = makeDiamond();
+    auto order = topologicalOrder(g);
+    ASSERT_TRUE(order.has_value());
+    std::vector<int> pos(4);
+    for (int i = 0; i < 4; ++i)
+        pos[(*order)[i]] = i;
+    for (const auto &e : g.edges())
+        EXPECT_LT(pos[e.src], pos[e.dst]);
+    EXPECT_FALSE(hasCycle(g));
+}
+
+TEST(Algorithms, CycleDetected)
+{
+    TaskGraph g("cyc");
+    g.addVertex("a", ResourceVector{});
+    g.addVertex("b", ResourceVector{});
+    g.addEdge(0, 1, 32);
+    g.addEdge(1, 0, 32);
+    EXPECT_FALSE(topologicalOrder(g).has_value());
+    EXPECT_TRUE(hasCycle(g));
+}
+
+TEST(Algorithms, SccFindsLoop)
+{
+    // a -> b <-> c -> d : components {a}, {b,c}, {d}.
+    TaskGraph g("scc");
+    for (const char *n : {"a", "b", "c", "d"})
+        g.addVertex(n, ResourceVector{});
+    g.addEdge(0, 1, 32);
+    g.addEdge(1, 2, 32);
+    g.addEdge(2, 1, 32);
+    g.addEdge(2, 3, 32);
+    int n = 0;
+    auto comp = stronglyConnectedComponents(g, &n);
+    EXPECT_EQ(n, 3);
+    EXPECT_EQ(comp[1], comp[2]);
+    EXPECT_NE(comp[0], comp[1]);
+    EXPECT_NE(comp[3], comp[1]);
+}
+
+TEST(Algorithms, CondensationIsAcyclic)
+{
+    TaskGraph g("scc2");
+    for (int i = 0; i < 5; ++i)
+        g.addVertex(strprintf("v%d", i),
+                    ResourceVector(10, 10, 0, 0, 0));
+    g.addEdge(0, 1, 32, 10.0);
+    g.addEdge(1, 2, 32, 10.0);
+    g.addEdge(2, 0, 32, 10.0); // 3-cycle
+    g.addEdge(2, 3, 64, 20.0);
+    g.addEdge(3, 4, 32, 5.0);
+    int n = 0;
+    auto comp = stronglyConnectedComponents(g, &n);
+    TaskGraph c = condensation(g, comp, n);
+    EXPECT_EQ(c.numVertices(), 3);
+    EXPECT_FALSE(hasCycle(c));
+    // Member areas aggregate.
+    double total_lut = 0.0;
+    for (const auto &v : c.vertices())
+        total_lut += v.area[ResourceKind::Lut];
+    EXPECT_DOUBLE_EQ(total_lut, 50.0);
+}
+
+TEST(Algorithms, CondensationMergesParallelEdges)
+{
+    TaskGraph g("par");
+    g.addVertex("a", ResourceVector{});
+    g.addVertex("b", ResourceVector{});
+    g.addEdge(0, 1, 32, 10.0);
+    g.addEdge(0, 1, 64, 20.0);
+    int n = 0;
+    auto comp = stronglyConnectedComponents(g, &n);
+    TaskGraph c = condensation(g, comp, n);
+    ASSERT_EQ(c.numEdges(), 1);
+    EXPECT_EQ(c.edge(0).widthBits, 96);
+    EXPECT_DOUBLE_EQ(c.edge(0).totalBytes, 30.0);
+}
+
+TEST(Algorithms, WeaklyConnectedComponents)
+{
+    TaskGraph g("wcc");
+    for (int i = 0; i < 5; ++i)
+        g.addVertex(strprintf("v%d", i), ResourceVector{});
+    g.addEdge(0, 1, 32);
+    g.addEdge(2, 1, 32); // {0,1,2}
+    g.addEdge(3, 4, 32); // {3,4}
+    int n = 0;
+    auto comp = weaklyConnectedComponents(g, &n);
+    EXPECT_EQ(n, 2);
+    EXPECT_EQ(comp[0], comp[2]);
+    EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(Algorithms, LongestPathFromSources)
+{
+    TaskGraph g = makeDiamond();
+    auto depth = longestPathFromSources(g);
+    EXPECT_EQ(depth[0], 0);
+    EXPECT_EQ(depth[1], 1);
+    EXPECT_EQ(depth[2], 1);
+    EXPECT_EQ(depth[3], 2);
+}
+
+TEST(AlgorithmsDeath, LongestPathRejectsCycles)
+{
+    TaskGraph g("cyc");
+    g.addVertex("a", ResourceVector{});
+    g.addVertex("b", ResourceVector{});
+    g.addEdge(0, 1, 32);
+    g.addEdge(1, 0, 32);
+    EXPECT_DEATH(longestPathFromSources(g), "cyclic");
+}
+
+/** SCC on random graphs: mutual reachability within components. */
+class SccProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SccProperty, ComponentsPartitionAndCondense)
+{
+    Rng rng(500 + GetParam());
+    TaskGraph g("rand");
+    const int n = 6 + GetParam() % 10;
+    for (int i = 0; i < n; ++i)
+        g.addVertex(strprintf("v%d", i), ResourceVector{});
+    const int e = n + static_cast<int>(rng.uniformInt(0, n));
+    for (int i = 0; i < e; ++i) {
+        g.addEdge(static_cast<int>(rng.uniformInt(0, n - 1)),
+                  static_cast<int>(rng.uniformInt(0, n - 1)), 32);
+    }
+    int num = 0;
+    auto comp = stronglyConnectedComponents(g, &num);
+    EXPECT_GE(num, 1);
+    for (int c : comp) {
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, num);
+    }
+    // The condensation is always a DAG.
+    TaskGraph cond = condensation(g, comp, num);
+    EXPECT_FALSE(hasCycle(cond));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SccProperty,
+                         ::testing::Range(0, 15));
+
+} // namespace
+} // namespace tapacs

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for interconnect pipelining and cut-set latency balancing
+ * (paper section 4.6).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "pipeline/pipelining.hh"
+
+namespace tapacs
+{
+namespace
+{
+
+struct Fixture
+{
+    TaskGraph g;
+    Cluster cluster = makePaperTestbed(1);
+    DevicePartition part;
+    SlotPlacement place;
+
+    VertexId
+    add(const std::string &name, int col, int row, DeviceId dev = 0)
+    {
+        const VertexId v = g.addVertex(name, ResourceVector{});
+        part.deviceOf.push_back(dev);
+        place.slotOf.push_back(SlotCoord{col, row});
+        return v;
+    }
+};
+
+TEST(Pipelining, StagesProportionalToCrossings)
+{
+    Fixture f;
+    const VertexId a = f.add("a", 0, 0);
+    const VertexId b = f.add("b", 1, 2); // manhattan 3
+    f.g.addEdge(a, b, 64);
+    PipelinePlan plan = planPipelining(f.g, f.cluster, f.part, f.place);
+    EXPECT_EQ(plan.edges[0].crossings, 3);
+    EXPECT_EQ(plan.edges[0].stages, 6); // 2 per crossing
+    EXPECT_DOUBLE_EQ(plan.totalRegisterBits, 64.0 * 6);
+}
+
+TEST(Pipelining, SameSlotEdgeGetsNoStages)
+{
+    Fixture f;
+    const VertexId a = f.add("a", 1, 1);
+    const VertexId b = f.add("b", 1, 1);
+    f.g.addEdge(a, b, 512);
+    PipelinePlan plan = planPipelining(f.g, f.cluster, f.part, f.place);
+    EXPECT_EQ(plan.edges[0].stages, 0);
+    EXPECT_EQ(plan.edges[0].balanceDepth, 0);
+}
+
+TEST(Pipelining, InterDeviceEdgesSkipped)
+{
+    Fixture f;
+    f.cluster = makePaperTestbed(2);
+    const VertexId a = f.add("a", 0, 0, 0);
+    const VertexId b = f.add("b", 1, 2, 1);
+    f.g.addEdge(a, b, 64);
+    PipelinePlan plan = planPipelining(f.g, f.cluster, f.part, f.place);
+    EXPECT_EQ(plan.edges[0].stages, 0);
+    EXPECT_EQ(plan.edges[0].crossings, 0);
+}
+
+TEST(Pipelining, DiamondReconvergenceBalanced)
+{
+    // a(0,0) -> b(0,2) -> d(1,2); a -> c(1,0) -> d.
+    // Path via b: 4 + 2 = 6 stages; via c: 2 + 4 = 6. Already equal.
+    Fixture f;
+    const VertexId a = f.add("a", 0, 0);
+    const VertexId b = f.add("b", 0, 2);
+    const VertexId c = f.add("c", 1, 0);
+    const VertexId d = f.add("d", 1, 2);
+    f.g.addEdge(a, b, 32);
+    f.g.addEdge(b, d, 32);
+    f.g.addEdge(a, c, 32);
+    f.g.addEdge(c, d, 32);
+    PipelinePlan plan = planPipelining(f.g, f.cluster, f.part, f.place);
+    EXPECT_TRUE(isLatencyBalanced(f.g, f.part, plan));
+    for (const auto &ep : plan.edges)
+        EXPECT_EQ(ep.balanceDepth, 0);
+}
+
+TEST(Pipelining, UnequalPathsGetBalancingDepth)
+{
+    // a(0,0) -> d(1,0) direct (2 stages) and a -> b(1,2) -> d
+    // (2+... longer). The short path gains balancing depth.
+    Fixture f;
+    const VertexId a = f.add("a", 0, 0);
+    const VertexId b = f.add("b", 1, 2);
+    const VertexId d = f.add("d", 1, 0);
+    f.g.addEdge(a, b, 32); // 3 crossings -> 6 stages
+    f.g.addEdge(b, d, 32); // 2 crossings -> 4 stages
+    f.g.addEdge(a, d, 32); // 1 crossing  -> 2 stages, slack 8
+    PipelinePlan plan = planPipelining(f.g, f.cluster, f.part, f.place);
+    EXPECT_EQ(plan.edges[2].balanceDepth, 8);
+    EXPECT_TRUE(isLatencyBalanced(f.g, f.part, plan));
+    EXPECT_GT(plan.totalBalanceBits, 0.0);
+}
+
+TEST(Pipelining, BalancingDisabledLeavesImbalance)
+{
+    Fixture f;
+    const VertexId a = f.add("a", 0, 0);
+    const VertexId b = f.add("b", 1, 2);
+    const VertexId d = f.add("d", 1, 0);
+    f.g.addEdge(a, b, 32);
+    f.g.addEdge(b, d, 32);
+    f.g.addEdge(a, d, 32);
+    PipelineOptions opt;
+    opt.balanceReconvergent = false;
+    PipelinePlan plan =
+        planPipelining(f.g, f.cluster, f.part, f.place, opt);
+    EXPECT_FALSE(isLatencyBalanced(f.g, f.part, plan));
+}
+
+TEST(Pipelining, CyclesAreLeftToBackpressure)
+{
+    // A 2-cycle between slots: no balancing depth is assigned inside
+    // an SCC (FIFO backpressure regulates it), but stages are still
+    // inserted for frequency.
+    Fixture f;
+    const VertexId a = f.add("a", 0, 0);
+    const VertexId b = f.add("b", 0, 1);
+    f.g.addEdge(a, b, 32);
+    f.g.addEdge(b, a, 32);
+    PipelinePlan plan = planPipelining(f.g, f.cluster, f.part, f.place);
+    EXPECT_EQ(plan.edges[0].stages, 2);
+    EXPECT_EQ(plan.edges[1].stages, 2);
+    EXPECT_EQ(plan.edges[0].balanceDepth, 0);
+    EXPECT_EQ(plan.edges[1].balanceDepth, 0);
+    EXPECT_TRUE(isLatencyBalanced(f.g, f.part, plan));
+}
+
+TEST(Pipelining, AddedAreaAccounted)
+{
+    Fixture f;
+    const VertexId a = f.add("a", 0, 0);
+    const VertexId b = f.add("b", 1, 2);
+    f.g.addEdge(a, b, 512);
+    PipelinePlan plan = planPipelining(f.g, f.cluster, f.part, f.place);
+    const ResourceVector &added = plan.addedAreaPerDevice[0];
+    // 6 stages x 512 bits of flops.
+    EXPECT_DOUBLE_EQ(added[ResourceKind::Ff], 512.0 * 6);
+    EXPECT_GT(added[ResourceKind::Lut], 0.0);
+}
+
+TEST(Pipelining, DeepBalancingFifoUsesBram)
+{
+    // Force a slack of 8 on a 4096-bit bus: 32 Kbit > one BRAM18.
+    Fixture f;
+    const VertexId a = f.add("a", 0, 0);
+    const VertexId b = f.add("b", 1, 2);
+    const VertexId d = f.add("d", 1, 0);
+    f.g.addEdge(a, b, 64);
+    f.g.addEdge(b, d, 64);
+    f.g.addEdge(a, d, 4096);
+    PipelinePlan plan = planPipelining(f.g, f.cluster, f.part, f.place);
+    EXPECT_GT(plan.addedAreaPerDevice[0][ResourceKind::Bram], 0.0);
+}
+
+/** Property: every generated plan on random placed DAGs is balanced
+ *  and non-negative. */
+class PipelineProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PipelineProperty, RandomDagsBalanced)
+{
+    Rng rng(4000 + GetParam());
+    Fixture f;
+    f.cluster = makePaperTestbed(2);
+    const int n = 8 + GetParam() % 8;
+    for (int i = 0; i < n; ++i) {
+        f.add(strprintf("t%d", i),
+              static_cast<int>(rng.uniformInt(0, 1)),
+              static_cast<int>(rng.uniformInt(0, 2)),
+              static_cast<int>(rng.uniformInt(0, 1)));
+    }
+    for (int i = 1; i < n; ++i) {
+        f.g.addEdge(static_cast<int>(rng.uniformInt(0, i - 1)), i,
+                    32 << rng.uniformInt(0, 4));
+    }
+    PipelinePlan plan = planPipelining(f.g, f.cluster, f.part, f.place);
+    EXPECT_TRUE(isLatencyBalanced(f.g, f.part, plan))
+        << "seed " << GetParam();
+    for (const auto &ep : plan.edges) {
+        EXPECT_GE(ep.stages, 0);
+        EXPECT_GE(ep.balanceDepth, 0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPlacedDags, PipelineProperty,
+                         ::testing::Range(0, 15));
+
+} // namespace
+} // namespace tapacs

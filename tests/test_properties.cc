@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Cross-cutting randomized property tests: invariants that must hold
+ * for the *whole flow* on arbitrary well-formed inputs, not just the
+ * paper benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "compiler/compiler.hh"
+#include "sim/dataflow_sim.hh"
+
+namespace tapacs
+{
+namespace
+{
+
+/** Random layered DAG with memory tasks at the edges. */
+TaskGraph
+randomDesign(std::uint64_t seed, int layers, int width)
+{
+    Rng rng(seed);
+    TaskGraph g(strprintf("rand%llu", (unsigned long long)seed));
+    std::vector<std::vector<VertexId>> layer_ids(layers);
+    for (int l = 0; l < layers; ++l) {
+        const int count =
+            1 + static_cast<int>(rng.uniformInt(0, width - 1));
+        for (int i = 0; i < count; ++i) {
+            Vertex v;
+            v.name = strprintf("t%d_%d", l, i);
+            v.area = ResourceVector(rng.uniformReal(500, 40000),
+                                    rng.uniformReal(800, 60000),
+                                    rng.uniformReal(0, 30),
+                                    rng.uniformReal(0, 60), 0);
+            v.work.computeOps = rng.uniformReal(1e6, 1e9);
+            v.work.opsPerCycle = 1 << rng.uniformInt(0, 5);
+            v.work.numBlocks = 8;
+            if (l == 0 || l == layers - 1) {
+                v.work.memChannels =
+                    static_cast<int>(rng.uniformInt(1, 3));
+                v.work.memReadBytes =
+                    l == 0 ? rng.uniformReal(1e6, 1e8) : 0.0;
+                v.work.memWriteBytes =
+                    l == layers - 1 ? rng.uniformReal(1e6, 1e8) : 0.0;
+            }
+            layer_ids[l].push_back(g.addVertex(v));
+        }
+    }
+    // Every non-source vertex gets at least one upstream edge.
+    for (int l = 1; l < layers; ++l) {
+        for (VertexId v : layer_ids[l]) {
+            const auto &prev = layer_ids[l - 1];
+            const VertexId u = prev[rng.uniformInt(0, prev.size() - 1)];
+            g.addEdge(u, v, 32 << rng.uniformInt(0, 4),
+                      rng.uniformReal(1e4, 1e7));
+            if (rng.bernoulli(0.3) && l >= 2) {
+                const auto &pp = layer_ids[l - 2];
+                g.addEdge(pp[rng.uniformInt(0, pp.size() - 1)], v, 64,
+                          rng.uniformReal(1e4, 1e6));
+            }
+        }
+    }
+    return g;
+}
+
+class FullFlowProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FullFlowProperty, CompileAndSimulateInvariants)
+{
+    const int seed = GetParam();
+    TaskGraph g = randomDesign(7000 + seed, 3 + seed % 3, 4);
+    g.validate();
+    const int fpgas = 1 + seed % 4;
+    Cluster cluster = makePaperTestbed(fpgas);
+    CompileOptions opt;
+    opt.mode = fpgas > 1 ? CompileMode::TapaCs : CompileMode::TapaSingle;
+    opt.numFpgas = fpgas;
+    opt.seed = seed;
+    CompileResult r = compile(g, cluster, opt);
+    ASSERT_TRUE(r.routable) << "seed " << seed << ": "
+                            << r.failureReason;
+
+    // Invariant 1: every task has a device and an in-grid slot.
+    const DeviceModel &dev = cluster.device();
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        ASSERT_GE(r.partition.deviceOf[v], 0);
+        ASSERT_LT(r.partition.deviceOf[v], fpgas);
+        ASSERT_LT(r.placement.slotOf[v].col, dev.cols());
+        ASSERT_LT(r.placement.slotOf[v].row, dev.rows());
+    }
+
+    // Invariant 2: threshold + channel capacity respected per device.
+    EXPECT_TRUE(respectsThreshold(g, cluster, r.partition,
+                                  r.reservedPerDevice, opt.threshold));
+    std::vector<int> channels(fpgas, 0);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        channels[r.partition.deviceOf[v]] += g.vertex(v).work.memChannels;
+    for (int d = 0; d < fpgas; ++d)
+        EXPECT_LE(channels[d], dev.memory().channels);
+
+    // Invariant 3: every memory task got exactly its channels.
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        EXPECT_EQ(r.binding.channelsOf[v].size(),
+                  static_cast<size_t>(g.vertex(v).work.memChannels));
+    }
+
+    // Invariant 4: pipelining is balanced and clock is positive and
+    // bounded by the board.
+    EXPECT_TRUE(isLatencyBalanced(g, r.partition, r.pipeline));
+    EXPECT_GT(r.fmax, 0.0);
+    EXPECT_LE(r.fmax, dev.maxFrequency());
+
+    // Invariant 5: the simulation terminates, the makespan covers
+    // every task, and cross-device bytes equal the partition cut.
+    sim::SimResult run = sim::simulate(g, cluster, r.partition,
+                                       r.binding, r.pipeline,
+                                       r.deviceFmax);
+    EXPECT_GT(run.makespan, 0.0);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        EXPECT_LE(run.taskFinish[v], run.makespan + 1e-12);
+    EXPECT_NEAR(run.interDeviceBytes,
+                interFpgaTrafficBytes(g, r.partition),
+                interFpgaTrafficBytes(g, r.partition) * 0.01 + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDesigns, FullFlowProperty,
+                         ::testing::Range(0, 12));
+
+TEST(FullFlowDeterminism, SameSeedSameResult)
+{
+    TaskGraph g1 = randomDesign(99, 4, 4);
+    TaskGraph g2 = randomDesign(99, 4, 4);
+    Cluster cluster = makePaperTestbed(3);
+    CompileOptions opt;
+    opt.mode = CompileMode::TapaCs;
+    opt.numFpgas = 3;
+    CompileResult a = compile(g1, cluster, opt);
+    CompileResult b = compile(g2, cluster, opt);
+    ASSERT_TRUE(a.routable && b.routable);
+    EXPECT_EQ(a.partition.deviceOf, b.partition.deviceOf);
+    EXPECT_DOUBLE_EQ(a.fmax, b.fmax);
+    sim::SimResult ra = sim::simulate(g1, cluster, a.partition, a.binding,
+                                      a.pipeline, a.deviceFmax);
+    sim::SimResult rb = sim::simulate(g2, cluster, b.partition, b.binding,
+                                      b.pipeline, b.deviceFmax);
+    EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
+}
+
+TEST(FullFlowMonotonicity, MoreFpgasNeverHurtFrequency)
+{
+    // Spreading the same design over more devices cannot make the
+    // worst-congested device worse (it can only relieve pressure).
+    TaskGraph g = randomDesign(123, 4, 5);
+    Hertz prev = 0.0;
+    for (int f : {1, 2, 4}) {
+        Cluster cluster = makePaperTestbed(f);
+        CompileOptions opt;
+        opt.mode = f > 1 ? CompileMode::TapaCs : CompileMode::TapaSingle;
+        opt.numFpgas = f;
+        CompileResult r = compile(g, cluster, opt);
+        ASSERT_TRUE(r.routable);
+        EXPECT_GE(r.fmax, prev * 0.85) << f << " FPGAs"; // modest slack
+        prev = std::max(prev, r.fmax);
+    }
+}
+
+} // namespace
+} // namespace tapacs

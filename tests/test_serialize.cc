@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for task-graph serialization and floorplan constraint
+ * emission (the step-7 artifacts).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/pagerank.hh"
+#include "apps/stencil.hh"
+#include "common/rng.hh"
+#include "compiler/constraints.hh"
+#include "graph/serialize.hh"
+
+namespace tapacs
+{
+namespace
+{
+
+TaskGraph
+sampleGraph()
+{
+    TaskGraph g("sample");
+    Vertex a;
+    a.name = "reader";
+    a.area = ResourceVector(1234, 5678, 9, 10, 1);
+    a.work.computeOps = 1.5e9;
+    a.work.opsPerCycle = 16.0;
+    a.work.memReadBytes = 6.4e7;
+    a.work.memPortWidthBits = 512;
+    a.work.memChannels = 4;
+    a.work.numBlocks = 32;
+    g.addVertex(a);
+    g.addVertex("worker", ResourceVector(10, 20, 0, 2, 0));
+    const EdgeId e = g.addEdge(0, 1, 256, 1.0e6, 4);
+    g.edge(e).initialTokens = 2;
+    return g;
+}
+
+TEST(Serialize, RoundTripExact)
+{
+    TaskGraph g = sampleGraph();
+    const std::string text = serializeTaskGraph(g);
+    TaskGraph back = parseTaskGraph(text);
+
+    ASSERT_EQ(back.numVertices(), g.numVertices());
+    ASSERT_EQ(back.numEdges(), g.numEdges());
+    EXPECT_EQ(back.name(), g.name());
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        const Vertex &x = g.vertex(v);
+        const Vertex &y = back.vertex(v);
+        EXPECT_EQ(x.name, y.name);
+        EXPECT_TRUE(x.area == y.area);
+        EXPECT_DOUBLE_EQ(x.work.computeOps, y.work.computeOps);
+        EXPECT_DOUBLE_EQ(x.work.memReadBytes, y.work.memReadBytes);
+        EXPECT_EQ(x.work.memChannels, y.work.memChannels);
+        EXPECT_EQ(x.work.numBlocks, y.work.numBlocks);
+    }
+    const Edge &e = back.edge(0);
+    EXPECT_EQ(e.widthBits, 256);
+    EXPECT_DOUBLE_EQ(e.totalBytes, 1.0e6);
+    EXPECT_EQ(e.depth, 4);
+    EXPECT_EQ(e.initialTokens, 2);
+}
+
+TEST(Serialize, DoubleRoundTripIsStable)
+{
+    TaskGraph g = sampleGraph();
+    const std::string once = serializeTaskGraph(g);
+    const std::string twice = serializeTaskGraph(parseTaskGraph(once));
+    EXPECT_EQ(once, twice);
+}
+
+TEST(Serialize, RealAppRoundTrips)
+{
+    apps::AppDesign app =
+        apps::buildStencil(apps::StencilConfig::scaled(64, 2));
+    const std::string text = serializeTaskGraph(app.graph);
+    TaskGraph back = parseTaskGraph(text);
+    EXPECT_EQ(back.numVertices(), app.graph.numVertices());
+    EXPECT_EQ(back.numEdges(), app.graph.numEdges());
+    back.validate();
+    EXPECT_EQ(serializeTaskGraph(back), text);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored)
+{
+    TaskGraph back = parseTaskGraph(
+        "# a comment\n\ngraph g\nvertex t 1 2 3 4 5 0 1 0 0 512 0 1\n");
+    EXPECT_EQ(back.numVertices(), 1);
+    EXPECT_EQ(back.vertex(0).name, "t");
+}
+
+TEST(SerializeDeath, MalformedVertexRejected)
+{
+    EXPECT_DEATH(parseTaskGraph("vertex broken 1 2\n"), "line 1");
+}
+
+TEST(SerializeDeath, DanglingEdgeRejected)
+{
+    EXPECT_DEATH(parseTaskGraph("graph g\nedge 0 1 32 0 2 0\n"),
+                 "missing vertex");
+}
+
+TEST(SerializeDeath, UnknownRecordRejected)
+{
+    EXPECT_DEATH(parseTaskGraph("frobnicate\n"), "unknown record");
+}
+
+// ---- Constraint emission -------------------------------------------------
+
+struct CompiledFixture
+{
+    apps::AppDesign app =
+        apps::buildStencil(apps::StencilConfig::scaled(64, 2));
+    Cluster cluster = makePaperTestbed(2);
+    CompileResult result;
+
+    CompiledFixture()
+    {
+        CompileOptions opt;
+        opt.mode = CompileMode::TapaCs;
+        opt.numFpgas = 2;
+        result = compileProgram(app.graph, app.tasks, cluster, opt);
+    }
+};
+
+TEST(Constraints, TclPinsEveryTaskOfTheDevice)
+{
+    CompiledFixture f;
+    ASSERT_TRUE(f.result.routable);
+    const std::string tcl =
+        emitConstraintsTcl(f.app.graph, f.cluster, f.result, 0);
+    // Every pblock exists.
+    EXPECT_NE(tcl.find("create_pblock pblock_X0Y0"), std::string::npos);
+    EXPECT_NE(tcl.find("create_pblock pblock_X1Y2"), std::string::npos);
+    // Every device-0 task is pinned; no device-1 task leaks in.
+    for (VertexId v = 0; v < f.app.graph.numVertices(); ++v) {
+        const std::string needle =
+            "get_cells -hier " + f.app.graph.vertex(v).name + "]";
+        const bool present = tcl.find(needle) != std::string::npos;
+        EXPECT_EQ(present, f.result.partition.deviceOf[v] == 0)
+            << f.app.graph.vertex(v).name;
+    }
+}
+
+TEST(Constraints, TclBindsHbmChannels)
+{
+    CompiledFixture f;
+    ASSERT_TRUE(f.result.routable);
+    const std::string tcl =
+        emitConstraintsTcl(f.app.graph, f.cluster, f.result, 0);
+    EXPECT_NE(tcl.find(":HBM["), std::string::npos);
+}
+
+TEST(Constraints, ManifestListsDevicesAndStreams)
+{
+    CompiledFixture f;
+    ASSERT_TRUE(f.result.routable);
+    const std::string manifest =
+        emitClusterManifest(f.app.graph, f.cluster, f.result);
+    EXPECT_NE(manifest.find("cluster devices=2"), std::string::npos);
+    EXPECT_NE(manifest.find("topology=ring"), std::string::npos);
+    EXPECT_NE(manifest.find("device 0"), std::string::npos);
+    EXPECT_NE(manifest.find("device 1"), std::string::npos);
+    // The stencil F2 cut produces at least one AlveoLink stream.
+    EXPECT_NE(manifest.find("via=alveolink"), std::string::npos);
+    EXPECT_EQ(manifest.find("via=host-mpi"), std::string::npos);
+}
+
+TEST(Constraints, CrossNodeStreamsMarkedHostMpi)
+{
+    apps::AppDesign app =
+        apps::buildPageRank(apps::PageRankConfig::scaled(
+            apps::pagerankDataset("soc-Slashdot0811"), 8));
+    Cluster cluster = makePaperTestbed(8);
+    CompileOptions opt;
+    opt.mode = CompileMode::TapaCs;
+    opt.numFpgas = 8;
+    CompileResult r = compileProgram(app.graph, app.tasks, cluster, opt);
+    ASSERT_TRUE(r.routable) << r.failureReason;
+    const std::string manifest =
+        emitClusterManifest(app.graph, cluster, r);
+    EXPECT_NE(manifest.find("nodes=2"), std::string::npos);
+    EXPECT_NE(manifest.find("via=host-mpi"), std::string::npos);
+}
+
+} // namespace
+} // namespace tapacs

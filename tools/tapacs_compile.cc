@@ -1,0 +1,225 @@
+/**
+ * @file
+ * tapacs-compile — the command-line front end.
+ *
+ * Reads a task graph in the serialized line format (see
+ * graph/serialize.hh; vertex areas are taken as post-synthesis
+ * values), runs the requested flow, and writes the step-7 artifacts:
+ * one placement-constraint Tcl per device, the cluster manifest, and
+ * optionally a simulated-run timeline CSV.
+ *
+ * Usage:
+ *   tapacs-compile GRAPH_FILE [options]
+ *     --fpgas N          devices to target (default 1)
+ *     --mode M           vitis | tapa | tapacs (default tapacs)
+ *     --topology T       chain|ring|star|mesh|hypercube|full
+ *     --device D         U55C | U250 | U280 (default U55C)
+ *     --threshold X      eq. 1 utilization threshold (default 0.70)
+ *     --out DIR          write constraints/manifest there (default .)
+ *     --simulate         run the dataflow simulator and report latency
+ *     --timeline FILE    write the firing timeline CSV (implies
+ *                        --simulate)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "compiler/compiler.hh"
+#include "compiler/constraints.hh"
+#include "graph/serialize.hh"
+#include "sim/dataflow_sim.hh"
+
+using namespace tapacs;
+
+namespace
+{
+
+struct CliOptions
+{
+    std::string graphFile;
+    int fpgas = 1;
+    CompileMode mode = CompileMode::TapaCs;
+    TopologyKind topology = TopologyKind::Ring;
+    std::string device = "U55C";
+    double threshold = 0.70;
+    std::string outDir = ".";
+    bool simulate = false;
+    std::string timelineFile;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: tapacs-compile GRAPH_FILE [--fpgas N] "
+                 "[--mode vitis|tapa|tapacs] [--topology T] "
+                 "[--device U55C|U250|U280] [--threshold X] "
+                 "[--out DIR] [--simulate] [--timeline FILE]\n");
+    std::exit(2);
+}
+
+TopologyKind
+parseTopology(const std::string &name)
+{
+    if (name == "chain")
+        return TopologyKind::Chain;
+    if (name == "ring")
+        return TopologyKind::Ring;
+    if (name == "star")
+        return TopologyKind::Star;
+    if (name == "mesh")
+        return TopologyKind::Mesh2D;
+    if (name == "hypercube")
+        return TopologyKind::Hypercube;
+    if (name == "full")
+        return TopologyKind::FullyConnected;
+    fatal("unknown topology '%s'", name.c_str());
+}
+
+CompileMode
+parseMode(const std::string &name)
+{
+    if (name == "vitis")
+        return CompileMode::VitisBaseline;
+    if (name == "tapa")
+        return CompileMode::TapaSingle;
+    if (name == "tapacs")
+        return CompileMode::TapaCs;
+    fatal("unknown mode '%s'", name.c_str());
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--fpgas")
+            opt.fpgas = std::atoi(next().c_str());
+        else if (arg == "--mode")
+            opt.mode = parseMode(next());
+        else if (arg == "--topology")
+            opt.topology = parseTopology(next());
+        else if (arg == "--device")
+            opt.device = next();
+        else if (arg == "--threshold")
+            opt.threshold = std::atof(next().c_str());
+        else if (arg == "--out")
+            opt.outDir = next();
+        else if (arg == "--simulate")
+            opt.simulate = true;
+        else if (arg == "--timeline") {
+            opt.timelineFile = next();
+            opt.simulate = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
+            usage();
+        } else if (opt.graphFile.empty()) {
+            opt.graphFile = arg;
+        } else {
+            usage();
+        }
+    }
+    if (opt.graphFile.empty())
+        usage();
+    if (opt.fpgas < 1)
+        fatal("--fpgas must be >= 1");
+    return opt;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream body;
+    body << in.rdbuf();
+    return body.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &body)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write '%s'", path.c_str());
+    out << body;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const CliOptions opt = parseArgs(argc, argv);
+
+    TaskGraph g = parseTaskGraph(readFile(opt.graphFile));
+    g.validate();
+    inform("loaded '%s': %d tasks, %d FIFOs", g.name().c_str(),
+           g.numVertices(), g.numEdges());
+
+    Cluster cluster(makeDeviceByName(opt.device),
+                    Topology(opt.topology, opt.fpgas));
+    CompileOptions copt;
+    copt.mode = opt.mode;
+    copt.numFpgas = opt.fpgas;
+    copt.topology = opt.topology;
+    copt.threshold = opt.threshold;
+
+    const CompileResult result = compile(g, cluster, copt);
+    if (!result.routable) {
+        std::fprintf(stderr, "compilation failed: %s\n",
+                     result.failureReason.c_str());
+        return 1;
+    }
+
+    std::printf("mode:      %s\n", toString(opt.mode));
+    std::printf("devices:   %d x %s (%s)\n", opt.fpgas,
+                opt.device.c_str(), toString(opt.topology));
+    std::printf("clock:     %s\n", formatFrequency(result.fmax).c_str());
+    std::printf("floorplan: L1 %.2fs, L2 %.2fs\n", result.l1Seconds,
+                result.l2Seconds);
+    std::printf("cut:       %s across devices\n",
+                formatBytes(result.cutTrafficBytes).c_str());
+
+    for (DeviceId d = 0; d < cluster.numDevices(); ++d) {
+        const std::string path =
+            strprintf("%s/constraints_dev%d.tcl", opt.outDir.c_str(), d);
+        writeFile(path, emitConstraintsTcl(g, cluster, result, d));
+        std::printf("wrote %s\n", path.c_str());
+    }
+    const std::string manifest_path = opt.outDir + "/cluster.manifest";
+    writeFile(manifest_path, emitClusterManifest(g, cluster, result));
+    std::printf("wrote %s\n", manifest_path.c_str());
+
+    if (opt.simulate) {
+        sim::SimOptions sopt;
+        sopt.recordTimeline = !opt.timelineFile.empty();
+        const sim::SimResult run =
+            sim::simulate(g, cluster, result.partition, result.binding,
+                          result.pipeline, result.deviceFmax, sopt);
+        std::printf("simulated latency: %s\n",
+                    formatSeconds(run.makespan).c_str());
+        for (DeviceId d = 0; d < cluster.numDevices(); ++d) {
+            std::printf("  device %d busy %.1f%%\n", d,
+                        run.deviceUtilization(d) * 100.0);
+        }
+        if (!opt.timelineFile.empty()) {
+            writeFile(opt.timelineFile, sim::timelineCsv(g, run));
+            std::printf("wrote %s\n", opt.timelineFile.c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * tapacs-graphgen — emit benchmark task graphs in the serialized
+ * format consumed by tapacs-compile.
+ *
+ * The vertex areas are produced by running the HLS estimator over the
+ * app's task IRs, so the emitted file is a complete post-synthesis
+ * design description.
+ *
+ * Usage:
+ *   tapacs-graphgen APP [options] > design.tg
+ *     APP               stencil | pagerank | knn | cnn
+ *     --fpgas N         scale the design for N devices (default 1)
+ *     --iters I         stencil iterations (default 64)
+ *     --dataset NAME    pagerank network (default cit-Patents)
+ *     --n N --d D       knn dataset size / dimension
+ *     --vitis           cnn: emit the 13x4 Vitis-baseline grid
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "apps/cnn.hh"
+#include "apps/knn.hh"
+#include "apps/pagerank.hh"
+#include "apps/stencil.hh"
+#include "common/logging.hh"
+#include "graph/serialize.hh"
+#include "hls/synthesis.hh"
+
+using namespace tapacs;
+
+namespace
+{
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: tapacs-graphgen stencil|pagerank|knn|cnn "
+                 "[--fpgas N] [--iters I] [--dataset NAME] [--n N] "
+                 "[--d D] [--vitis]\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string app_name = argv[1];
+
+    int fpgas = 1, iters = 64, d = 2;
+    std::int64_t n = 4'000'000;
+    std::string dataset = "cit-Patents";
+    bool vitis = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (++i >= argc)
+                usage();
+            return argv[i];
+        };
+        if (arg == "--fpgas")
+            fpgas = std::atoi(next().c_str());
+        else if (arg == "--iters")
+            iters = std::atoi(next().c_str());
+        else if (arg == "--dataset")
+            dataset = next();
+        else if (arg == "--n")
+            n = std::atoll(next().c_str());
+        else if (arg == "--d")
+            d = std::atoi(next().c_str());
+        else if (arg == "--vitis")
+            vitis = true;
+        else
+            usage();
+    }
+
+    apps::AppDesign app;
+    if (app_name == "stencil") {
+        app = apps::buildStencil(apps::StencilConfig::scaled(iters, fpgas));
+    } else if (app_name == "pagerank") {
+        app = apps::buildPageRank(apps::PageRankConfig::scaled(
+            apps::pagerankDataset(dataset), fpgas));
+    } else if (app_name == "knn") {
+        app = apps::buildKnn(apps::KnnConfig::scaled(n, d, fpgas));
+    } else if (app_name == "cnn") {
+        app = apps::buildCnn(apps::CnnConfig::scaled(fpgas, vitis));
+    } else {
+        usage();
+    }
+
+    // Step 2: synthesize so the emitted file carries real areas.
+    hls::ProgramSynthesis synth = hls::synthesizeAll(app.tasks);
+    hls::applySynthesis(app.graph, synth);
+    app.graph.validate();
+
+    std::fputs(serializeTaskGraph(app.graph).c_str(), stdout);
+    return 0;
+}

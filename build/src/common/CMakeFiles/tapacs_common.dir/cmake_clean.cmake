@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs_common.dir/logging.cc.o"
+  "CMakeFiles/tapacs_common.dir/logging.cc.o.d"
+  "CMakeFiles/tapacs_common.dir/rng.cc.o"
+  "CMakeFiles/tapacs_common.dir/rng.cc.o.d"
+  "CMakeFiles/tapacs_common.dir/stats.cc.o"
+  "CMakeFiles/tapacs_common.dir/stats.cc.o.d"
+  "CMakeFiles/tapacs_common.dir/table.cc.o"
+  "CMakeFiles/tapacs_common.dir/table.cc.o.d"
+  "CMakeFiles/tapacs_common.dir/units.cc.o"
+  "CMakeFiles/tapacs_common.dir/units.cc.o.d"
+  "libtapacs_common.a"
+  "libtapacs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -6,6 +6,9 @@
  * partitioning instance.
  */
 
+#include <chrono>
+#include <map>
+
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hh"
@@ -17,6 +20,91 @@ using namespace tapacs::ilp;
 
 namespace
 {
+
+/** Knapsack instance shared by the serial and MT variants. */
+Model
+makeKnapsack(int n)
+{
+    Rng rng(7);
+    Model m;
+    LinExpr cap, obj;
+    for (int i = 0; i < n; ++i) {
+        const VarId v = m.addBinary();
+        cap.add(v, rng.uniformReal(1.0, 5.0));
+        obj.add(v, -rng.uniformReal(1.0, 10.0));
+    }
+    m.addConstraint(std::move(cap), Sense::LessEqual, n * 1.2);
+    m.setObjective(std::move(obj));
+    return m;
+}
+
+/** Partitioning-shaped MILP: v tasks onto 2 devices, cut objective. */
+Model
+makePartitionIlp(int v)
+{
+    Rng rng(13);
+    Model m;
+    std::vector<VarId> y;
+    for (int i = 0; i < v; ++i)
+        y.push_back(m.addBinary());
+    LinExpr balance;
+    for (int i = 0; i < v; ++i)
+        balance.add(y[i], 1.0);
+    LinExpr b2 = balance;
+    m.addConstraint(std::move(balance), Sense::LessEqual, v * 0.6);
+    m.addConstraint(std::move(b2), Sense::GreaterEqual, v * 0.4);
+    LinExpr obj;
+    for (int i = 1; i < v; ++i) {
+        const VarId d = m.addContinuous(0.0);
+        LinExpr c1;
+        c1.add(y[i - 1], 1.0).add(y[i], -1.0).add(d, -1.0);
+        m.addConstraint(std::move(c1), Sense::LessEqual, 0.0);
+        LinExpr c2;
+        c2.add(y[i], 1.0).add(y[i - 1], -1.0).add(d, -1.0);
+        m.addConstraint(std::move(c2), Sense::LessEqual, 0.0);
+        obj.add(d, rng.uniformReal(16.0, 512.0));
+    }
+    m.setObjective(std::move(obj));
+    return m;
+}
+
+/**
+ * Run one solver configuration and report speedup against the
+ * 1-thread run of the same instance. Registration order puts the
+ * 1-thread variant first per instance size, so the baseline is always
+ * populated by the time the MT variants execute.
+ */
+void
+runThreadSweep(benchmark::State &state, const Model &m,
+               const SolverOptions &base,
+               std::map<std::int64_t, double> &baselines)
+{
+    const int threads = static_cast<int>(state.range(1));
+    double total = 0.0;
+    std::int64_t iters = 0;
+    double objective = 0.0;
+    for (auto _ : state) {
+        const auto t0 = std::chrono::steady_clock::now();
+        SolverOptions opt = base;
+        opt.numThreads = threads;
+        BranchBoundSolver solver(opt);
+        Solution s = solver.solve(m);
+        total += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+        ++iters;
+        objective = s.objective;
+        benchmark::DoNotOptimize(s.status);
+    }
+    const double per_iter = iters > 0 ? total / iters : 0.0;
+    if (threads == 1)
+        baselines[state.range(0)] = per_iter;
+    state.counters["threads"] = threads;
+    state.counters["objective"] = objective;
+    const auto it = baselines.find(state.range(0));
+    if (it != baselines.end() && per_iter > 0.0)
+        state.counters["speedup_vs_1t"] = it->second / per_iter;
+}
 
 Model
 randomLp(int vars, int rows, std::uint64_t seed)
@@ -59,16 +147,7 @@ void
 BM_BranchBoundKnapsack(benchmark::State &state)
 {
     const int n = static_cast<int>(state.range(0));
-    Rng rng(7);
-    Model m;
-    LinExpr cap, obj;
-    for (int i = 0; i < n; ++i) {
-        const VarId v = m.addBinary();
-        cap.add(v, rng.uniformReal(1.0, 5.0));
-        obj.add(v, -rng.uniformReal(1.0, 10.0));
-    }
-    m.addConstraint(std::move(cap), Sense::LessEqual, n * 1.2);
-    m.setObjective(std::move(obj));
+    Model m = makeKnapsack(n);
     for (auto _ : state) {
         BranchBoundSolver solver;
         Solution s = solver.solve(m);
@@ -78,34 +157,21 @@ BM_BranchBoundKnapsack(benchmark::State &state)
 BENCHMARK(BM_BranchBoundKnapsack)->Arg(8)->Arg(16)->Arg(24);
 
 void
+BM_BranchBoundKnapsackMT(benchmark::State &state)
+{
+    static std::map<std::int64_t, double> baselines;
+    Model m = makeKnapsack(static_cast<int>(state.range(0)));
+    runThreadSweep(state, m, SolverOptions{}, baselines);
+}
+BENCHMARK(BM_BranchBoundKnapsackMT)
+    ->ArgsProduct({{16, 24}, {1, 2, 4, 8}})
+    ->UseRealTime();
+
+void
 BM_AssignmentIlp(benchmark::State &state)
 {
-    // A partitioning-shaped MILP: v tasks onto 2 devices with a cut
-    // objective (mirrors one coarse level-1 solve).
-    const int v = static_cast<int>(state.range(0));
-    Rng rng(13);
-    Model m;
-    std::vector<VarId> y;
-    for (int i = 0; i < v; ++i)
-        y.push_back(m.addBinary());
-    LinExpr balance;
-    for (int i = 0; i < v; ++i)
-        balance.add(y[i], 1.0);
-    LinExpr b2 = balance;
-    m.addConstraint(std::move(balance), Sense::LessEqual, v * 0.6);
-    m.addConstraint(std::move(b2), Sense::GreaterEqual, v * 0.4);
-    LinExpr obj;
-    for (int i = 1; i < v; ++i) {
-        const VarId d = m.addContinuous(0.0);
-        LinExpr c1;
-        c1.add(y[i - 1], 1.0).add(y[i], -1.0).add(d, -1.0);
-        m.addConstraint(std::move(c1), Sense::LessEqual, 0.0);
-        LinExpr c2;
-        c2.add(y[i], 1.0).add(y[i - 1], -1.0).add(d, -1.0);
-        m.addConstraint(std::move(c2), Sense::LessEqual, 0.0);
-        obj.add(d, rng.uniformReal(16.0, 512.0));
-    }
-    m.setObjective(std::move(obj));
+    // Mirrors one coarse level-1 solve.
+    Model m = makePartitionIlp(static_cast<int>(state.range(0)));
     for (auto _ : state) {
         SolverOptions opt;
         opt.maxNodes = 200;
@@ -116,6 +182,20 @@ BM_AssignmentIlp(benchmark::State &state)
     }
 }
 BENCHMARK(BM_AssignmentIlp)->Arg(16)->Arg(32)->Arg(64);
+
+void
+BM_AssignmentIlpMT(benchmark::State &state)
+{
+    static std::map<std::int64_t, double> baselines;
+    Model m = makePartitionIlp(static_cast<int>(state.range(0)));
+    SolverOptions base;
+    base.maxNodes = 200;
+    base.timeLimitSeconds = 2.0;
+    runThreadSweep(state, m, base, baselines);
+}
+BENCHMARK(BM_AssignmentIlpMT)
+    ->ArgsProduct({{32, 64}, {1, 2, 4, 8}})
+    ->UseRealTime();
 
 } // namespace
 

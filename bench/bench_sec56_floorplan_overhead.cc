@@ -9,6 +9,7 @@
  * but the growth with module count must hold.
  */
 
+#include <algorithm>
 #include <cstdio>
 
 #include "apps/cnn.hh"
@@ -26,6 +27,7 @@ main()
                 "===\n\n");
 
     TextTable stencil({"Iters", "Modules", "L1 (s)", "L2 (s)",
+                       "B&B nodes", "LP solves", "Thr",
                        "Paper L1/L2 (s)"});
     const struct
     {
@@ -37,17 +39,26 @@ main()
         apps::AppDesign app =
             apps::buildStencil(apps::StencilConfig::scaled(row.iters, 2));
         RunOutcome o = runApp(app, CompileMode::TapaCs, 2);
-        stencil.addRow({strprintf("%d", row.iters),
-                        strprintf("%d", app.graph.numVertices()),
-                        strprintf("%.2f", o.compiled.l1Seconds),
-                        strprintf("%.2f", o.compiled.l2Seconds),
-                        row.paper});
+        const auto &s1 = o.compiled.l1SolverStats;
+        const auto &s2 = o.compiled.l2SolverStats;
+        stencil.addRow(
+            {strprintf("%d", row.iters),
+             strprintf("%d", app.graph.numVertices()),
+             strprintf("%.2f", o.compiled.l1Seconds),
+             strprintf("%.2f", o.compiled.l2Seconds),
+             strprintf("%lld", static_cast<long long>(
+                                   s1.nodesExplored + s2.nodesExplored)),
+             strprintf("%lld", static_cast<long long>(s1.lpSolves +
+                                                      s2.lpSolves)),
+             strprintf("%d", std::max(s1.threadsUsed, s2.threadsUsed)),
+             row.paper});
     }
     stencil.setTitle("Stencil (2 FPGAs)");
     stencil.print();
     std::printf("\n");
 
     TextTable cnn({"Grid", "Modules", "FPGAs", "L1 (s)", "L2 (s)",
+                   "B&B nodes", "LP solves", "Thr",
                    "Paper L1/L2 (s)"});
     const struct
     {
@@ -59,11 +70,20 @@ main()
         apps::AppDesign app =
             apps::buildCnn(apps::CnnConfig::scaled(row.fpgas));
         RunOutcome o = runApp(app, CompileMode::TapaCs, row.fpgas);
-        cnn.addRow({strprintf("13x%d", 4 + 4 * row.fpgas),
-                    strprintf("%d", app.graph.numVertices()),
-                    strprintf("%d", row.fpgas),
-                    strprintf("%.2f", o.compiled.l1Seconds),
-                    strprintf("%.2f", o.compiled.l2Seconds), row.paper});
+        const auto &s1 = o.compiled.l1SolverStats;
+        const auto &s2 = o.compiled.l2SolverStats;
+        cnn.addRow(
+            {strprintf("13x%d", 4 + 4 * row.fpgas),
+             strprintf("%d", app.graph.numVertices()),
+             strprintf("%d", row.fpgas),
+             strprintf("%.2f", o.compiled.l1Seconds),
+             strprintf("%.2f", o.compiled.l2Seconds),
+             strprintf("%lld", static_cast<long long>(
+                                   s1.nodesExplored + s2.nodesExplored)),
+             strprintf("%lld", static_cast<long long>(s1.lpSolves +
+                                                      s2.lpSolves)),
+             strprintf("%d", std::max(s1.threadsUsed, s2.threadsUsed)),
+             row.paper});
     }
     cnn.setTitle("CNN (AutoSA systolic array)");
     cnn.print();

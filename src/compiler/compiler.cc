@@ -162,6 +162,7 @@ compile(const TaskGraph &g, const Cluster &cluster,
         }
         out.partition = l1.partition;
         out.l1Seconds = l1.elapsedSeconds;
+        out.l1SolverStats = l1.solverStats;
         out.cutTrafficBytes = l1.cutTrafficBytes;
     } else {
         // Single device: the fit gate for the TAPA modes is the same
@@ -189,17 +190,23 @@ compile(const TaskGraph &g, const Cluster &cluster,
         intra.threshold = options.threshold;
         intra.reserved = out.reservedPerDevice;
         intra.seed = options.seed;
+        if (intra.numThreads == 0)
+            intra.numThreads = options.numThreads;
         IntraFpgaResult l2 =
             floorplanIntraFpga(g, cluster, out.partition, intra);
         out.placement = l2.placement;
         out.l2Seconds = l2.elapsedSeconds;
+        out.l2SolverStats = l2.solverStats;
     }
 
     // ---- HBM channel binding ---------------------------------------
+    HbmBindingOptions bind_opt;
+    bind_opt.numThreads = options.numThreads;
     out.binding =
         options.mode == CompileMode::VitisBaseline
             ? naiveBinding(g, cluster, out.partition)
-            : bindHbmChannels(g, cluster, out.partition, out.placement);
+            : bindHbmChannels(g, cluster, out.partition, out.placement,
+                              bind_opt);
 
     // ---- Step 6: interconnect pipelining ----------------------------
     PipelineOptions popt = options.pipeline;

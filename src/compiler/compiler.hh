@@ -73,6 +73,13 @@ struct CompileOptions
      */
     bool vitisPrePipelined = false;
     std::uint64_t seed = 1;
+    /**
+     * Worker threads for the parallel floorplanning stages (per-device
+     * intra-FPGA placement, HBM binding sweep). 0 = default pool size
+     * (TAPACS_THREADS / hardware concurrency); 1 = serial. Forwarded
+     * into intra.numThreads when that is left at 0.
+     */
+    int numThreads = 0;
 
     InterFpgaOptions inter;
     IntraFpgaOptions intra;
@@ -103,6 +110,10 @@ struct CompileResult
     /** Floorplanning runtimes (the paper's L1/L2 overheads). */
     double l1Seconds = 0.0;
     double l2Seconds = 0.0;
+    /** Branch-and-bound effort of the level-1 coarse ILP. */
+    ilp::SolverStats l1SolverStats;
+    /** Aggregate effort of every level-2 bisection ILP. */
+    ilp::SolverStats l2SolverStats;
 
     /** Resources reserved per device for the networking IPs. */
     ResourceVector reservedPerDevice;

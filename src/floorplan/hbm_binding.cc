@@ -5,9 +5,150 @@
 #include <numeric>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace tapacs
 {
+
+namespace
+{
+
+/** How a candidate walks the memory-using tasks of a device. */
+enum class WalkOrder
+{
+    ColumnAsc,  ///< slot column ascending (the classic order)
+    ColumnDesc, ///< slot column descending
+    DemandDesc, ///< heaviest requesters first
+    IdOrder,    ///< graph vertex order
+};
+
+/** How a candidate picks a channel for one request. */
+enum class PickPolicy
+{
+    LeastLoadedThenNear, ///< balance first (the classic policy)
+    NearestThenLeastLoaded, ///< locality first
+};
+
+/** One point of the per-device sweep grid. Candidate 0 must stay the
+ *  classic heuristic: scores tie-break toward the lowest candidate
+ *  index, which preserves the historical binding whenever the sweep
+ *  finds nothing strictly better. */
+struct Candidate
+{
+    WalkOrder order;
+    PickPolicy policy;
+};
+
+constexpr Candidate kCandidates[] = {
+    {WalkOrder::ColumnAsc, PickPolicy::LeastLoadedThenNear},
+    {WalkOrder::ColumnAsc, PickPolicy::NearestThenLeastLoaded},
+    {WalkOrder::ColumnDesc, PickPolicy::LeastLoadedThenNear},
+    {WalkOrder::ColumnDesc, PickPolicy::NearestThenLeastLoaded},
+    {WalkOrder::DemandDesc, PickPolicy::LeastLoadedThenNear},
+    {WalkOrder::DemandDesc, PickPolicy::NearestThenLeastLoaded},
+    {WalkOrder::IdOrder, PickPolicy::LeastLoadedThenNear},
+    {WalkOrder::IdOrder, PickPolicy::NearestThenLeastLoaded},
+};
+constexpr int kNumCandidates =
+    static_cast<int>(sizeof(kCandidates) / sizeof(kCandidates[0]));
+
+/** Binding of one device under one candidate. */
+struct DeviceBinding
+{
+    std::vector<int> load; ///< users per channel
+    /** grants[i] = channels of users[i] (user-list indexing). */
+    std::vector<std::vector<int>> grants;
+    double displacement = 0.0;
+    int maxContention = 0;
+};
+
+/** Run one candidate over one device's users. */
+DeviceBinding
+bindDevice(const TaskGraph &g, const DeviceModel &dev,
+           const SlotPlacement &placement,
+           const std::vector<VertexId> &users, const Candidate &cand)
+{
+    const int channels = dev.memory().channels;
+    DeviceBinding out;
+    out.load.assign(channels, 0);
+    out.grants.assign(users.size(), {});
+
+    std::vector<size_t> order(users.size());
+    std::iota(order.begin(), order.end(), 0);
+    switch (cand.order) {
+      case WalkOrder::ColumnAsc:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return placement.slotOf[users[a]].col <
+                                    placement.slotOf[users[b]].col;
+                         });
+        break;
+      case WalkOrder::ColumnDesc:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return placement.slotOf[users[a]].col >
+                                    placement.slotOf[users[b]].col;
+                         });
+        break;
+      case WalkOrder::DemandDesc:
+        std::stable_sort(order.begin(), order.end(),
+                         [&](size_t a, size_t b) {
+                             return g.vertex(users[a]).work.memChannels >
+                                    g.vertex(users[b]).work.memChannels;
+                         });
+        break;
+      case WalkOrder::IdOrder:
+        break;
+    }
+
+    for (size_t i : order) {
+        const VertexId v = users[i];
+        const int want = g.vertex(v).work.memChannels;
+        const int col = placement.slotOf[v].col;
+        for (int k = 0; k < want; ++k) {
+            int best = -1;
+            for (int c = 0; c < channels; ++c) {
+                if (best < 0) {
+                    best = c;
+                    continue;
+                }
+                const int dcost = std::abs(channelColumn(dev, c) - col);
+                const int bcost = std::abs(channelColumn(dev, best) - col);
+                bool better;
+                if (cand.policy == PickPolicy::LeastLoadedThenNear) {
+                    better = out.load[c] < out.load[best] ||
+                             (out.load[c] == out.load[best] &&
+                              dcost < bcost);
+                } else {
+                    better = dcost < bcost ||
+                             (dcost == bcost &&
+                              out.load[c] < out.load[best]);
+                }
+                if (better)
+                    best = c;
+            }
+            tapacs_assert(best >= 0);
+            ++out.load[best];
+            out.grants[i].push_back(best);
+            out.displacement += std::abs(channelColumn(dev, best) - col);
+        }
+    }
+    for (int users_on_c : out.load)
+        out.maxContention = std::max(out.maxContention, users_on_c);
+    return out;
+}
+
+/** Lexicographic candidate score: contention, then displacement.
+ *  Strict comparison so equal scores keep the earlier candidate. */
+bool
+strictlyBetter(const DeviceBinding &a, const DeviceBinding &b)
+{
+    if (a.maxContention != b.maxContention)
+        return a.maxContention < b.maxContention;
+    return a.displacement < b.displacement - 1e-12;
+}
+
+} // namespace
 
 int
 HbmBinding::maxContention(DeviceId d) const
@@ -31,61 +172,69 @@ channelColumn(const DeviceModel &device, int channel)
 HbmBinding
 bindHbmChannels(const TaskGraph &g, const Cluster &cluster,
                 const DevicePartition &partition,
-                const SlotPlacement &placement)
+                const SlotPlacement &placement,
+                const HbmBindingOptions &options)
 {
     const DeviceModel &dev = cluster.device();
     const int channels = dev.memory().channels;
+    const int num_devices = cluster.numDevices();
 
     HbmBinding out;
     out.channelsOf.assign(g.numVertices(), {});
-    out.usersPerChannel.assign(cluster.numDevices(),
+    out.usersPerChannel.assign(num_devices,
                                std::vector<int>(channels, 0));
 
-    for (DeviceId d = 0; d < cluster.numDevices(); ++d) {
-        // Memory-using tasks on this device, in slot-column order so
-        // nearest-channel grants do not cross each other.
-        std::vector<VertexId> users;
-        for (VertexId v = 0; v < g.numVertices(); ++v) {
-            if (partition.deviceOf[v] == d &&
-                g.vertex(v).work.memChannels > 0) {
-                users.push_back(v);
-            }
-        }
-        std::stable_sort(users.begin(), users.end(),
-                         [&](VertexId a, VertexId b) {
-                             return placement.slotOf[a].col <
-                                    placement.slotOf[b].col;
-                         });
+    // Memory-using tasks per device (vertex order; the walk order is
+    // a per-candidate decision).
+    std::vector<std::vector<VertexId>> users_of(num_devices);
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (g.vertex(v).work.memChannels > 0)
+            users_of[partition.deviceOf[v]].push_back(v);
+    }
 
-        auto &load = out.usersPerChannel[d];
-        for (VertexId v : users) {
-            const int want = g.vertex(v).work.memChannels;
-            const int col = placement.slotOf[v].col;
-            for (int k = 0; k < want; ++k) {
-                // Least-loaded channel; ties broken by distance to
-                // the task's column, then by index (determinism).
-                int best = -1;
-                for (int c = 0; c < channels; ++c) {
-                    if (best < 0) {
-                        best = c;
-                        continue;
-                    }
-                    const int dcost =
-                        std::abs(channelColumn(dev, c) - col);
-                    const int bcost =
-                        std::abs(channelColumn(dev, best) - col);
-                    if (load[c] < load[best] ||
-                        (load[c] == load[best] && dcost < bcost)) {
-                        best = c;
-                    }
-                }
-                tapacs_assert(best >= 0);
-                ++load[best];
-                out.channelsOf[v].push_back(best);
-                out.displacementCost +=
-                    std::abs(channelColumn(dev, best) - col);
-            }
+    // Evaluate the device x candidate grid. Every cell is independent
+    // (it reads shared inputs and writes only its own slot), so the
+    // grid maps directly onto parallelFor; the winner-per-device
+    // reduction below runs serially in fixed order, which keeps the
+    // result identical at any thread count.
+    const int cands = options.sweep ? kNumCandidates : 1;
+    std::vector<DeviceBinding> grid(
+        static_cast<size_t>(num_devices) * cands);
+    auto evalCell = [&](std::int64_t cell) {
+        const int d = static_cast<int>(cell / cands);
+        const int k = static_cast<int>(cell % cands);
+        if (users_of[d].empty())
+            return;
+        grid[cell] = bindDevice(g, dev, placement, users_of[d],
+                                kCandidates[k]);
+    };
+
+    int threads = options.numThreads;
+    if (threads <= 0)
+        threads = ThreadPool::defaultPool().size();
+    const std::int64_t cells =
+        static_cast<std::int64_t>(num_devices) * cands;
+    if (threads > 1 && cells > 1)
+        ThreadPool::defaultPool().parallelFor(0, cells, evalCell);
+    else
+        for (std::int64_t cell = 0; cell < cells; ++cell)
+            evalCell(cell);
+
+    for (int d = 0; d < num_devices; ++d) {
+        if (users_of[d].empty())
+            continue;
+        int best = 0;
+        for (int k = 1; k < cands; ++k) {
+            const size_t base = static_cast<size_t>(d) * cands;
+            if (strictlyBetter(grid[base + k], grid[base + best]))
+                best = k;
         }
+        const DeviceBinding &win =
+            grid[static_cast<size_t>(d) * cands + best];
+        out.usersPerChannel[d] = win.load;
+        for (size_t i = 0; i < users_of[d].size(); ++i)
+            out.channelsOf[users_of[d][i]] = win.grants[i];
+        out.displacementCost += win.displacement;
     }
     return out;
 }

@@ -38,17 +38,40 @@ struct HbmBinding
     double displacementCost = 0.0;
 };
 
+/** Options for HBM channel binding. */
+struct HbmBindingOptions
+{
+    /**
+     * Evaluate several candidate bindings per device (task orderings
+     * crossed with channel-pick policies) and keep the one with the
+     * lowest (maxContention, displacement); candidate 0 is the classic
+     * single-pass heuristic, so the sweep never does worse than it.
+     * false = run only candidate 0.
+     */
+    bool sweep = true;
+    /**
+     * Worker threads for the device x candidate evaluation grid.
+     * 0 = default pool size (TAPACS_THREADS / hardware concurrency);
+     * 1 = serial. The result is identical at any thread count:
+     * candidates are scored independently and reduced in fixed order.
+     */
+    int numThreads = 0;
+};
+
 /**
  * Bind memory channels for every device of the cluster.
  *
  * Tasks request work.memChannels channels each. Within a device the
  * binder walks tasks in slot-column order, granting the nearest free
  * channels; once all channels are granted further requests share the
- * least-loaded channels (contention > 1).
+ * least-loaded channels (contention > 1). With options.sweep the
+ * binder additionally tries alternative walk orders and pick policies
+ * per device and keeps the best-scoring binding.
  */
 HbmBinding bindHbmChannels(const TaskGraph &g, const Cluster &cluster,
                            const DevicePartition &partition,
-                           const SlotPlacement &placement);
+                           const SlotPlacement &placement,
+                           const HbmBindingOptions &options = {});
 
 /**
  * Column of a memory channel on the device (channels are spread

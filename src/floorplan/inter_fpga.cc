@@ -429,7 +429,8 @@ refine(const TaskGraph &g, const Cluster &cluster,
 ilp::Solution
 solveAssignmentIlp(const TaskGraph &g, const Cluster &cluster,
                    const InterFpgaOptions &opt,
-                   const DevicePartition &warm, bool *optimal)
+                   const DevicePartition &warm, bool *optimal,
+                   ilp::SolverStats *statsOut)
 {
     const int n = g.numVertices();
     const int f = cluster.numDevices();
@@ -529,6 +530,8 @@ solveAssignmentIlp(const TaskGraph &g, const Cluster &cluster,
     ilp::Solution sol = solver.solve(model, warm_values);
     if (optimal)
         *optimal = solver.stats().provenOptimal;
+    if (statsOut)
+        *statsOut = solver.stats();
     return sol;
 }
 
@@ -598,8 +601,9 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
         DevicePartition warm = greedyAssign(coarse.graph, cluster,
                                             options);
         bool optimal = false;
-        ilp::Solution sol = solveAssignmentIlp(coarse.graph, cluster,
-                                               options, warm, &optimal);
+        ilp::Solution sol =
+            solveAssignmentIlp(coarse.graph, cluster, options, warm,
+                               &optimal, &out.solverStats);
         DevicePartition coarse_part;
         if (sol.hasSolution()) {
             coarse_part.deviceOf.resize(coarse.graph.numVertices());

@@ -71,6 +71,12 @@ struct InterFpgaOptions
         ilp::SolverOptions s;
         s.maxNodes = 150;
         s.timeLimitSeconds = 5.0;
+        // Serial by default so the coarse-ILP assignment — and with
+        // it the whole level-1 partition — is bit-identical run to
+        // run; a parallel search reaches the same objective but may
+        // pick a different tied-optimal assignment. Callers wanting
+        // the parallel solver set numThreads explicitly.
+        s.numThreads = 1;
         return s;
     }
 };
@@ -92,6 +98,9 @@ struct InterFpgaResult
     bool ilpOptimal = false;
     /** Vertices in the coarse graph the ILP saw. */
     int coarseVertices = 0;
+    /** Branch-and-bound effort of the coarse ILP (zeroed in heuristic
+     *  mode, where no ILP runs). */
+    ilp::SolverStats solverStats;
 };
 
 /**

@@ -7,6 +7,7 @@
 
 #include "common/logging.hh"
 #include "common/rng.hh"
+#include "common/thread_pool.hh"
 
 namespace tapacs
 {
@@ -176,7 +177,7 @@ ilpCut(const TaskGraph &g, const std::vector<VertexId> &active,
        const std::vector<double> &pull, const ResourceVector &budgetA,
        const ResourceVector &budgetB, double step,
        const IntraFpgaOptions &opt, const std::vector<int> &warm,
-       bool *optimal)
+       bool *optimal, ilp::SolverStats *statsOut)
 {
     const int n = static_cast<int>(active.size());
     ilp::Model model;
@@ -246,6 +247,8 @@ ilpCut(const TaskGraph &g, const std::vector<VertexId> &active,
     ilp::Solution sol = solver.solve(model, warm_values);
     if (optimal)
         *optimal = solver.stats().provenOptimal;
+    if (statsOut)
+        statsOut->merge(solver.stats());
     if (!sol.hasSolution())
         return warm;
     std::vector<int> side(n);
@@ -269,12 +272,25 @@ floorplanIntraFpga(const TaskGraph &g, const Cluster &cluster,
     IntraFpgaResult out;
     out.placement.slotOf.assign(g.numVertices(), SlotCoord{0, 0});
 
-    // localOf[v]: index of v within its device's vertex list.
-    std::vector<int> localOf(g.numVertices(), -1);
+    // Devices are independent bisection problems: each one reads only
+    // the level-1 partition and writes only its own vertices' slots,
+    // so the outer loop parallelizes without any synchronization. The
+    // per-device outcomes are folded back in device order to keep the
+    // aggregates deterministic.
+    struct DeviceOutcome
+    {
+        bool allOptimal = true;
+        ilp::SolverStats stats;
+    };
+    const int num_devices = cluster.numDevices();
+    std::vector<DeviceOutcome> outcomes(num_devices);
 
-    for (DeviceId d = 0; d < cluster.numDevices(); ++d) {
+    auto placeDevice = [&](DeviceId d) {
+        DeviceOutcome &outcome = outcomes[d];
+        outcome.stats.provenOptimal = true; // identity for merge()
         DeviceState state;
-        std::fill(localOf.begin(), localOf.end(), -1);
+        // localOf[v]: index of v within this device's vertex list.
+        std::vector<int> localOf(g.numVertices(), -1);
         for (VertexId v = 0; v < g.numVertices(); ++v) {
             if (partition.deviceOf[v] == d) {
                 localOf[v] = static_cast<int>(state.verts.size());
@@ -282,7 +298,7 @@ floorplanIntraFpga(const TaskGraph &g, const Cluster &cluster,
             }
         }
         if (state.verts.empty())
-            continue;
+            return;
         const Region full{0, dev.cols() - 1, 0, dev.rows() - 1};
         state.regionOf.assign(state.verts.size(), full);
 
@@ -359,11 +375,12 @@ floorplanIntraFpga(const TaskGraph &g, const Cluster &cluster,
                 if (options.useIlp) {
                     bool optimal = false;
                     side = ilpCut(g, active, activeIndex, pull, budgetA,
-                                  budgetB, step, options, side, &optimal);
+                                  budgetB, step, options, side, &optimal,
+                                  &outcome.stats);
                     if (!optimal)
-                        out.allIlpOptimal = false;
+                        outcome.allOptimal = false;
                 } else {
-                    out.allIlpOptimal = false;
+                    outcome.allOptimal = false;
                 }
                 for (size_t i = 0; i < active.size(); ++i) {
                     state.regionOf[localOf[active[i]]] =
@@ -379,7 +396,28 @@ floorplanIntraFpga(const TaskGraph &g, const Cluster &cluster,
             tapacs_assert(r.single());
             out.placement.slotOf[state.verts[i]] = SlotCoord{r.c0, r.r0};
         }
+    };
+
+    int threads = options.numThreads;
+    if (threads <= 0)
+        threads = ThreadPool::defaultPool().size();
+    if (threads > 1 && num_devices > 1) {
+        ThreadPool::defaultPool().parallelFor(
+            0, num_devices,
+            [&](std::int64_t d) { placeDevice(static_cast<DeviceId>(d)); });
+    } else {
+        threads = 1;
+        for (DeviceId d = 0; d < num_devices; ++d)
+            placeDevice(d);
     }
+
+    out.solverStats.provenOptimal = true; // identity for merge()
+    for (const DeviceOutcome &outcome : outcomes) {
+        out.allIlpOptimal = out.allIlpOptimal && outcome.allOptimal;
+        out.solverStats.merge(outcome.stats);
+    }
+    out.solverStats.threadsUsed =
+        std::max(out.solverStats.threadsUsed, threads);
 
     out.cost = intraFpgaCost(g, partition, out.placement);
     out.elapsedSeconds =

@@ -43,6 +43,14 @@ struct IntraFpgaOptions
      *  numSlots-1 bisections; the greedy warm start bounds the damage
      *  of a limit hit). */
     ilp::SolverOptions solver = defaultSolverOptions();
+    /**
+     * Worker threads for the per-device outer loop: devices are
+     * independent, so each can be floorplanned concurrently. 0 = use
+     * the default pool size (TAPACS_THREADS / hardware concurrency);
+     * 1 = serial. Results are identical at any thread count because
+     * devices neither share state nor observe each other's order.
+     */
+    int numThreads = 0;
 
     static ilp::SolverOptions
     defaultSolverOptions()
@@ -50,6 +58,11 @@ struct IntraFpgaOptions
         ilp::SolverOptions s;
         s.maxNodes = 150;
         s.timeLimitSeconds = 1.5;
+        // Keep each bisection ILP serial: parallelism comes from the
+        // per-device outer loop, and a serial inner solver keeps the
+        // placement bit-identical run to run (a parallel search may
+        // return a different tied-optimal cut).
+        s.numThreads = 1;
         return s;
     }
 };
@@ -64,6 +77,10 @@ struct IntraFpgaResult
     double elapsedSeconds = 0.0;
     /** True if every bisection ILP was solved to proven optimality. */
     bool allIlpOptimal = true;
+    /** Aggregate solver effort over every bisection ILP of every
+     *  device (wallSeconds sums solver time across devices, so it can
+     *  exceed elapsedSeconds when devices run concurrently). */
+    ilp::SolverStats solverStats;
 };
 
 /**

@@ -18,17 +18,26 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
  * Dense standard-form tableau: rows are constraints, columns are
  * structural + slack + artificial variables, plus an RHS column and a
  * cost row. All variables are >= 0; all RHS entries are >= 0.
+ *
+ * The storage lives in an LpWorkspace so a branch-and-bound worker
+ * reuses one allocation across all of its node LPs.
  */
 struct Tableau
 {
+    explicit Tableau(LpWorkspace &ws)
+        : a(ws.matrix), rhs(ws.rhs), cost(ws.cost), basis(ws.basis),
+          locked(ws.locked)
+    {
+    }
+
     int rows = 0;
     int cols = 0; // excludes rhs column
-    std::vector<double> a; // rows x cols, row-major
-    std::vector<double> rhs;
-    std::vector<double> cost;    // current phase objective
+    std::vector<double> &a; // rows x cols, row-major
+    std::vector<double> &rhs;
+    std::vector<double> &cost;   // current phase objective
     double costShift = 0.0;      // constant part of objective
-    std::vector<int> basis;      // basis[r] = basic column of row r
-    std::vector<bool> locked;    // column excluded from entering
+    std::vector<int> &basis;     // basis[r] = basic column of row r
+    std::vector<unsigned char> &locked; // excluded from entering
 
     double &at(int r, int c) { return a[static_cast<size_t>(r) * cols + c]; }
     double at(int r, int c) const
@@ -133,13 +142,19 @@ iterate(Tableau &t, const SimplexOptions &opt, int max_iters)
 LpResult
 solveLp(const Model &model, const std::vector<double> &boundsLower,
         const std::vector<double> &boundsUpper,
-        const SimplexOptions &options)
+        const SimplexOptions &options, LpWorkspace *scratch)
 {
     const int n = model.numVars();
     LpResult out;
 
+    LpWorkspace local;
+    LpWorkspace &ws = scratch ? *scratch : local;
+
     // Effective bounds, with branch-and-bound overrides applied.
-    std::vector<double> lo(n), hi(n);
+    ws.lower.resize(n);
+    ws.upper.resize(n);
+    std::vector<double> &lo = ws.lower;
+    std::vector<double> &hi = ws.upper;
     for (VarId v = 0; v < n; ++v) {
         lo[v] = boundsLower.empty() ? model.var(v).lower : boundsLower[v];
         hi[v] = boundsUpper.empty() ? model.var(v).upper : boundsUpper[v];
@@ -208,14 +223,14 @@ solveLp(const Model &model, const std::vector<double> &boundsLower,
             ++n_art;
     }
 
-    Tableau t;
+    Tableau t(ws);
     t.rows = m;
     t.cols = n + n_slack + n_art;
     t.a.assign(static_cast<size_t>(t.rows) * t.cols, 0.0);
-    t.rhs.resize(m);
+    t.rhs.assign(m, 0.0);
     t.cost.assign(t.cols, 0.0);
     t.basis.assign(m, -1);
-    t.locked.assign(t.cols, false);
+    t.locked.assign(t.cols, 0);
 
     int slack_cursor = n;
     int art_cursor = n + n_slack;

@@ -42,6 +42,30 @@ struct LpResult
 };
 
 /**
+ * Reusable scratch buffers for solveLp.
+ *
+ * Branch-and-bound calls solveLp once per node on a model of fixed
+ * shape; without reuse every call allocates a fresh dense tableau
+ * (O(rows x cols) doubles), and that allocator traffic is what the
+ * parallel solver amplifies first. Each solver worker owns one
+ * workspace and threads it through all of its LP solves; the vectors
+ * below keep their capacity across calls, so steady state performs no
+ * heap allocation per node beyond the returned solution.
+ *
+ * A workspace must not be shared between concurrent solveLp calls.
+ */
+struct LpWorkspace
+{
+    std::vector<double> matrix; ///< dense tableau, row-major
+    std::vector<double> rhs;
+    std::vector<double> cost;
+    std::vector<int> basis;
+    std::vector<unsigned char> locked;
+    std::vector<double> lower; ///< effective per-variable bounds
+    std::vector<double> upper;
+};
+
+/**
  * Solve the LP relaxation of @p model.
  *
  * @param model the MILP whose relaxation to solve.
@@ -49,12 +73,15 @@ struct LpResult
  *        (used by branch-and-bound); empty = use model bounds.
  * @param boundsUpper optional per-variable upper-bound overrides.
  * @param options numerical options.
+ * @param scratch optional reusable buffers (see LpWorkspace); pass
+ *        nullptr to allocate fresh scratch for this call.
  * @return LP status, objective and a full variable assignment.
  */
 LpResult solveLp(const Model &model,
                  const std::vector<double> &boundsLower = {},
                  const std::vector<double> &boundsUpper = {},
-                 const SimplexOptions &options = {});
+                 const SimplexOptions &options = {},
+                 LpWorkspace *scratch = nullptr);
 
 } // namespace tapacs::ilp
 

@@ -1,10 +1,14 @@
 #include "ilp/solver.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace tapacs::ilp
 {
@@ -18,6 +22,7 @@ struct Node
     std::vector<double> lo;
     std::vector<double> hi;
     double parentBound = -std::numeric_limits<double>::infinity();
+    bool isRoot = false;
 };
 
 double
@@ -28,7 +33,275 @@ nowSeconds()
         .count();
 }
 
+/** Root node spanning the model's own bounds. */
+Node
+makeRoot(const Model &model)
+{
+    const int n = model.numVars();
+    Node root;
+    root.isRoot = true;
+    root.lo.resize(n);
+    root.hi.resize(n);
+    for (VarId v = 0; v < n; ++v) {
+        root.lo[v] = model.var(v).lower;
+        root.hi[v] = model.var(v).upper;
+    }
+    return root;
+}
+
+/**
+ * State shared by the parallel search workers. The deque + active
+ * counter are guarded by mu; the incumbent *objective* is an atomic
+ * so pruning reads never take a lock, while the incumbent *solution*
+ * is guarded by bestMu (updates are rare: one per improvement).
+ */
+struct SharedSearch
+{
+    const Model &model;
+    const SolverOptions &opt;
+    const std::vector<VarId> &intVars;
+    double tStart = 0.0;
+
+    std::mutex mu;
+    std::deque<Node> deque;
+    int active = 0;  ///< workers currently expanding a node
+    std::atomic<bool> stop{false};
+    std::condition_variable cv;
+
+    std::atomic<std::int64_t> nodesExplored{0};
+    std::atomic<std::int64_t> lpSolves{0};
+    std::atomic<bool> cleanly{true};
+    std::atomic<bool> rootUnbounded{false};
+
+    std::atomic<double> incumbent{
+        std::numeric_limits<double>::infinity()};
+    std::mutex bestMu;
+    Solution best;
+
+    SharedSearch(const Model &m, const SolverOptions &o,
+                 const std::vector<VarId> &iv)
+        : model(m), opt(o), intVars(iv)
+    {
+    }
+
+    /** Request a cooperative drain (limit hit / root unbounded). */
+    void
+    requestStop(bool clean)
+    {
+        if (!clean)
+            cleanly.store(false, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(mu);
+        stop.store(true, std::memory_order_relaxed);
+        cv.notify_all();
+    }
+
+    /**
+     * Reserve one node-budget slot (and check the clock). The CAS
+     * loop guarantees nodesExplored never exceeds maxNodes no matter
+     * how many workers race here.
+     */
+    bool
+    reserveNode()
+    {
+        std::int64_t id = nodesExplored.load(std::memory_order_relaxed);
+        for (;;) {
+            if (id >= opt.maxNodes) {
+                requestStop(false);
+                return false;
+            }
+            if (nodesExplored.compare_exchange_weak(
+                    id, id + 1, std::memory_order_relaxed))
+                break;
+        }
+        if (opt.timeLimitSeconds > 0.0 &&
+            nowSeconds() - tStart > opt.timeLimitSeconds) {
+            requestStop(false);
+            return false;
+        }
+        return true;
+    }
+
+    /**
+     * Record an integer-feasible point. The atomic bound is lowered
+     * with compare-exchange so concurrent improvements never move it
+     * upward; the full solution follows under bestMu.
+     */
+    void
+    offerIncumbent(std::vector<double> vals, double obj)
+    {
+        std::lock_guard<std::mutex> lk(bestMu);
+        if (best.hasSolution() && obj >= best.objective)
+            return;
+        best.values = std::move(vals);
+        best.objective = obj;
+        best.status = SolveStatus::Feasible;
+        double cur = incumbent.load(std::memory_order_relaxed);
+        while (obj < cur &&
+               !incumbent.compare_exchange_weak(
+                   cur, obj, std::memory_order_release,
+                   std::memory_order_relaxed)) {
+        }
+    }
+};
+
+/**
+ * Expand one node: LP-relax, prune, either record an incumbent or
+ * branch. On a branch the nearer-side child is handed back through
+ * @p dive for the calling worker to expand next (a depth-first dive,
+ * which is what finds incumbents early enough to prune), while the
+ * farther child goes to the back of the shared deque for idle
+ * workers to steal.
+ *
+ * @retval true @p dive holds the next node for this worker.
+ */
+bool
+expandNode(SharedSearch &sh, Node node, LpWorkspace &ws, Node *dive)
+{
+    const SolverOptions &opt = sh.opt;
+    {
+        const double inc = sh.incumbent.load(std::memory_order_acquire);
+        if (node.parentBound >=
+            inc - opt.relativeGap * (1.0 + std::abs(inc)))
+            return false;
+    }
+
+    LpResult lp = solveLp(sh.model, node.lo, node.hi, opt.lp, &ws);
+    sh.lpSolves.fetch_add(1, std::memory_order_relaxed);
+
+    if (lp.status == SolveStatus::Infeasible)
+        return false;
+    if (lp.status == SolveStatus::Unbounded) {
+        if (node.isRoot) {
+            sh.rootUnbounded.store(true, std::memory_order_relaxed);
+            sh.requestStop(true);
+        } else {
+            // A bounded root cannot spawn an unbounded child; treat
+            // as numeric trouble and skip (mirrors the serial path).
+            warn("branch-and-bound: child LP reported unbounded");
+        }
+        return false;
+    }
+    if (lp.status == SolveStatus::LimitReached) {
+        sh.cleanly.store(false, std::memory_order_relaxed);
+        return false;
+    }
+
+    // Re-check against the incumbent *after* the LP solve: another
+    // worker may have found a better bound while we pivoted, and a
+    // late improvement must still prune this subtree.
+    {
+        const double inc = sh.incumbent.load(std::memory_order_acquire);
+        if (lp.objective >= inc - opt.relativeGap * (1.0 + std::abs(inc)))
+            return false;
+    }
+
+    // Find the most fractional integral variable.
+    VarId branch_var = -1;
+    double worst_frac = opt.intTol;
+    for (VarId v : sh.intVars) {
+        const double x = lp.values[v];
+        const double frac = std::abs(x - std::round(x));
+        if (frac > worst_frac) {
+            worst_frac = frac;
+            branch_var = v;
+        }
+    }
+
+    if (branch_var < 0) {
+        // Integer feasible: round off numeric fuzz and accept.
+        std::vector<double> vals = std::move(lp.values);
+        for (VarId v : sh.intVars)
+            vals[v] = std::round(vals[v]);
+        const double obj = sh.model.objective().evaluate(vals);
+        const double inc = sh.incumbent.load(std::memory_order_acquire);
+        if (obj < inc && sh.model.isFeasible(vals, 1e-5))
+            sh.offerIncumbent(std::move(vals), obj);
+        return false;
+    }
+
+    const double x = lp.values[branch_var];
+    const double floor_x = std::floor(x);
+
+    Node down = node;
+    down.isRoot = false;
+    down.hi[branch_var] = floor_x;
+    down.parentBound = lp.objective;
+    Node up = std::move(node);
+    up.isRoot = false;
+    up.lo[branch_var] = floor_x + 1.0;
+    up.parentBound = lp.objective;
+
+    // Keep the side nearer the fractional value for this worker's
+    // dive (the serial DFS explores it first); share the other side.
+    Node shared;
+    if (x - floor_x > 0.5) {
+        *dive = std::move(up);
+        shared = std::move(down);
+    } else {
+        *dive = std::move(down);
+        shared = std::move(up);
+    }
+    {
+        std::lock_guard<std::mutex> lk(sh.mu);
+        sh.deque.push_back(std::move(shared));
+    }
+    sh.cv.notify_one();
+    return true;
+}
+
+/**
+ * One search worker: steal a node from the front of the shared deque,
+ * then dive depth-first down its subtree (expandNode hands back one
+ * child per branch, queueing the other), until the tree drains, a
+ * limit fires, or stop is requested.
+ */
+void
+searchWorker(SharedSearch &sh)
+{
+    LpWorkspace ws; // per-worker scratch, reused across node LPs
+    std::unique_lock<std::mutex> lk(sh.mu);
+    for (;;) {
+        if (sh.stop.load(std::memory_order_relaxed))
+            return;
+        if (sh.deque.empty()) {
+            if (sh.active == 0)
+                return; // tree drained
+            sh.cv.wait(lk);
+            continue;
+        }
+
+        Node node = std::move(sh.deque.front());
+        sh.deque.pop_front();
+        ++sh.active;
+        lk.unlock();
+
+        while (!sh.stop.load(std::memory_order_relaxed)) {
+            if (!sh.reserveNode())
+                break;
+            Node next;
+            if (!expandNode(sh, std::move(node), ws, &next))
+                break;
+            node = std::move(next);
+        }
+
+        lk.lock();
+        --sh.active;
+        if (sh.active == 0 && sh.deque.empty())
+            sh.cv.notify_all(); // wake sleepers so they can exit
+    }
+}
+
 } // namespace
+
+void
+SolverStats::merge(const SolverStats &other)
+{
+    nodesExplored += other.nodesExplored;
+    lpSolves += other.lpSolves;
+    wallSeconds += other.wallSeconds;
+    provenOptimal = provenOptimal && other.provenOptimal;
+    threadsUsed = std::max(threadsUsed, other.threadsUsed);
+}
 
 BranchBoundSolver::BranchBoundSolver(SolverOptions options)
     : options_(options)
@@ -39,9 +312,21 @@ Solution
 BranchBoundSolver::solve(const Model &model,
                          const std::vector<double> &warmStart)
 {
+    int threads = options_.numThreads;
+    if (threads <= 0)
+        threads = ThreadPool::defaultPool().size();
+    threads = std::max(1, threads);
+    if (threads == 1)
+        return solveSerial(model, warmStart);
+    return solveParallel(model, warmStart, threads);
+}
+
+Solution
+BranchBoundSolver::solveSerial(const Model &model,
+                               const std::vector<double> &warmStart)
+{
     stats_ = SolverStats{};
     const double t_start = nowSeconds();
-    const int n = model.numVars();
     const std::vector<VarId> int_vars = model.integerVars();
 
     Solution best;
@@ -59,19 +344,10 @@ BranchBoundSolver::solve(const Model &model,
     // solutions quickly, which matters more than best-bound order for
     // the well-structured partitioning models we feed it.
     std::vector<Node> stack;
-    {
-        Node root;
-        root.lo.resize(n);
-        root.hi.resize(n);
-        for (VarId v = 0; v < n; ++v) {
-            root.lo[v] = model.var(v).lower;
-            root.hi[v] = model.var(v).upper;
-        }
-        stack.push_back(std::move(root));
-    }
+    stack.push_back(makeRoot(model));
 
+    LpWorkspace ws; // reused across every node LP of this solve
     bool exhausted_cleanly = true;
-    bool root_infeasible = false;
     bool root_unbounded = false;
 
     while (!stack.empty()) {
@@ -93,16 +369,13 @@ BranchBoundSolver::solve(const Model &model,
                                                 (1.0 + std::abs(incumbent)))
             continue;
 
-        LpResult lp = solveLp(model, node.lo, node.hi, options_.lp);
+        LpResult lp = solveLp(model, node.lo, node.hi, options_.lp, &ws);
         ++stats_.lpSolves;
 
-        if (lp.status == SolveStatus::Infeasible) {
-            if (stats_.nodesExplored == 1)
-                root_infeasible = true;
+        if (lp.status == SolveStatus::Infeasible)
             continue;
-        }
         if (lp.status == SolveStatus::Unbounded) {
-            if (stats_.nodesExplored == 1) {
+            if (node.isRoot) {
                 root_unbounded = true;
                 break;
             }
@@ -153,9 +426,11 @@ BranchBoundSolver::solve(const Model &model,
         const double floor_x = std::floor(x);
 
         Node down = node;
+        down.isRoot = false;
         down.hi[branch_var] = floor_x;
         down.parentBound = lp.objective;
         Node up = std::move(node);
+        up.isRoot = false;
         up.lo[branch_var] = floor_x + 1.0;
         up.parentBound = lp.objective;
 
@@ -170,6 +445,7 @@ BranchBoundSolver::solve(const Model &model,
     }
 
     stats_.wallSeconds = nowSeconds() - t_start;
+    stats_.threadsUsed = 1;
 
     if (root_unbounded) {
         best.status = SolveStatus::Unbounded;
@@ -181,7 +457,56 @@ BranchBoundSolver::solve(const Model &model,
     } else if (best.status == SolveStatus::LimitReached &&
                exhausted_cleanly) {
         best.status = SolveStatus::Infeasible;
-        (void)root_infeasible;
+    }
+    return best;
+}
+
+Solution
+BranchBoundSolver::solveParallel(const Model &model,
+                                 const std::vector<double> &warmStart,
+                                 int threads)
+{
+    stats_ = SolverStats{};
+    const double t_start = nowSeconds();
+    const std::vector<VarId> int_vars = model.integerVars();
+
+    SharedSearch sh(model, options_, int_vars);
+    sh.tStart = t_start;
+    sh.best.status = SolveStatus::LimitReached;
+
+    if (!warmStart.empty() && model.isFeasible(warmStart, options_.intTol)) {
+        sh.offerIncumbent(warmStart,
+                          model.objective().evaluate(warmStart));
+    }
+    sh.deque.push_back(makeRoot(model));
+
+    // The caller is worker 0; the rest run as pool tasks. Workers
+    // that find the pool saturated are executed by TaskGroup::wait's
+    // helping loop, so the search completes on any pool size.
+    ThreadPool &pool = ThreadPool::defaultPool();
+    TaskGroup group(pool);
+    for (int w = 1; w < threads; ++w)
+        group.run([&sh] { searchWorker(sh); });
+    searchWorker(sh);
+    group.wait();
+
+    stats_.nodesExplored =
+        sh.nodesExplored.load(std::memory_order_relaxed);
+    stats_.lpSolves = sh.lpSolves.load(std::memory_order_relaxed);
+    stats_.wallSeconds = nowSeconds() - t_start;
+    stats_.threadsUsed = threads;
+
+    Solution best = std::move(sh.best);
+    if (sh.rootUnbounded.load(std::memory_order_relaxed)) {
+        best.status = SolveStatus::Unbounded;
+        return best;
+    }
+    const bool cleanly = sh.cleanly.load(std::memory_order_relaxed);
+    if (best.status == SolveStatus::Feasible && cleanly) {
+        best.status = SolveStatus::Optimal;
+        stats_.provenOptimal = true;
+    } else if (best.status == SolveStatus::LimitReached && cleanly) {
+        best.status = SolveStatus::Infeasible;
     }
     return best;
 }
@@ -191,6 +516,24 @@ ExhaustiveSolver::solve(const Model &model, std::uint64_t maxStates)
 {
     const std::vector<VarId> int_vars = model.integerVars();
     const int n = model.numVars();
+
+    if (int_vars.empty()) {
+        // Pure LP: a single relaxation solve decides the model, so
+        // report its status directly instead of entering the
+        // enumeration loop with an empty odometer.
+        LpResult lp = solveLp(model);
+        Solution s;
+        s.status = lp.status;
+        if (lp.status == SolveStatus::Optimal) {
+            if (model.isFeasible(lp.values, 1e-5)) {
+                s.values = std::move(lp.values);
+                s.objective = lp.objective;
+            } else {
+                s.status = SolveStatus::Infeasible;
+            }
+        }
+        return s;
+    }
 
     // Compute the enumeration domain of each integral variable.
     std::vector<long> lo(int_vars.size()), hi(int_vars.size());
@@ -218,11 +561,10 @@ ExhaustiveSolver::solve(const Model &model, std::uint64_t maxStates)
     best.status = SolveStatus::Infeasible;
     double incumbent = std::numeric_limits<double>::infinity();
 
+    LpWorkspace ws; // reused across the whole enumeration
     std::vector<long> cur(lo);
-    bool done = int_vars.empty() ? false : false;
-    std::uint64_t visited = 0;
+    bool done = false;
     while (!done) {
-        ++visited;
         // Fix the integral variables via bound overrides, then let the
         // LP place any continuous variables optimally.
         std::vector<double> blo(n), bhi(n);
@@ -234,7 +576,7 @@ ExhaustiveSolver::solve(const Model &model, std::uint64_t maxStates)
             blo[int_vars[i]] = static_cast<double>(cur[i]);
             bhi[int_vars[i]] = static_cast<double>(cur[i]);
         }
-        LpResult lp = solveLp(model, blo, bhi);
+        LpResult lp = solveLp(model, blo, bhi, SimplexOptions{}, &ws);
         if (lp.status == SolveStatus::Optimal && lp.objective < incumbent &&
             model.isFeasible(lp.values, 1e-5)) {
             incumbent = lp.objective;
@@ -244,8 +586,6 @@ ExhaustiveSolver::solve(const Model &model, std::uint64_t maxStates)
         }
 
         // Odometer increment.
-        if (int_vars.empty())
-            break;
         size_t i = 0;
         while (i < cur.size()) {
             if (cur[i] < hi[i]) {
@@ -258,7 +598,6 @@ ExhaustiveSolver::solve(const Model &model, std::uint64_t maxStates)
         if (i == cur.size())
             done = true;
     }
-    (void)visited;
     return best;
 }
 

@@ -32,6 +32,16 @@ struct SolverOptions
     double intTol = 1e-6;
     /** Relative optimality gap at which to stop early. */
     double relativeGap = 1e-9;
+    /**
+     * Worker threads for the branch-and-bound search. 0 = size of
+     * ThreadPool::defaultPool() (hardware concurrency, overridable
+     * via TAPACS_THREADS); 1 = the serial solver with today's exact
+     * depth-first traversal order, which is what reproducibility
+     * tests pin. With more than one thread the search provably
+     * reaches the same *optimal objective*, but may return a
+     * different tied-optimal assignment depending on timing.
+     */
+    int numThreads = 0;
     /** LP options used at every node. */
     SimplexOptions lp;
 };
@@ -43,11 +53,24 @@ struct SolverStats
     std::int64_t lpSolves = 0;
     double wallSeconds = 0.0;
     bool provenOptimal = false;
+    /** Worker threads the search actually used. */
+    int threadsUsed = 1;
+
+    /** Fold another run's effort into this one (threads = max). */
+    void merge(const SolverStats &other);
 };
 
 /**
  * Exact MILP solver: LP-relaxation branch-and-bound with
- * most-fractional branching and depth-first traversal.
+ * most-fractional branching.
+ *
+ * Serial mode (numThreads == 1) explores depth-first in a fixed
+ * order. Parallel mode runs options.numThreads workers off the
+ * default thread pool: pending nodes live in one mutex-guarded deque
+ * (workers steal from the front, push children to the back), the
+ * incumbent objective is an atomic updated by compare-exchange so
+ * every worker prunes against the latest bound, and per-worker stats
+ * are merged when the search drains.
  */
 class BranchBoundSolver
 {
@@ -69,6 +92,12 @@ class BranchBoundSolver
     const SolverStats &stats() const { return stats_; }
 
   private:
+    Solution solveSerial(const Model &model,
+                         const std::vector<double> &warmStart);
+    Solution solveParallel(const Model &model,
+                           const std::vector<double> &warmStart,
+                           int threads);
+
     SolverOptions options_;
     SolverStats stats_;
 };

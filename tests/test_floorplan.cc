@@ -153,6 +153,18 @@ TEST(InterFpga, CostMatchesEvaluator)
                      interFpgaTrafficBytes(g, r.partition));
 }
 
+TEST(InterFpga, SolverStatsRecorded)
+{
+    TaskGraph g = makeRandomGraph(20, 7);
+    Cluster c = makePaperTestbed(2);
+    InterFpgaResult r = floorplanInterFpga(g, c);
+    ASSERT_TRUE(r.feasible);
+    // The coarse ILP ran: effort must be visible in the result.
+    EXPECT_GE(r.solverStats.lpSolves, 1);
+    EXPECT_GE(r.solverStats.nodesExplored, 1);
+    EXPECT_EQ(r.solverStats.threadsUsed, 1); // default pins serial
+}
+
 TEST(InterFpga, ReportsElapsedAndCoarseSize)
 {
     TaskGraph g = makeRandomGraph(60, 5);
@@ -245,6 +257,101 @@ TEST(IntraFpga, HandlesMultiDevicePartitions)
     EXPECT_EQ(l2.placement.slotOf.size(),
               static_cast<size_t>(g.numVertices()));
     EXPECT_GT(l2.elapsedSeconds, 0.0);
+}
+
+TEST(IntraFpga, ParallelMatchesSerial)
+{
+    // Devices are placed independently, so the concurrent per-device
+    // loop must return the exact same slots and cost as the serial
+    // one (the inner bisection solver stays serial either way).
+    TaskGraph g = makeRandomGraph(28, 91);
+    Cluster c = makePaperTestbed(4);
+    InterFpgaResult l1 = floorplanInterFpga(g, c);
+    ASSERT_TRUE(l1.feasible);
+
+    IntraFpgaOptions serial_opt;
+    serial_opt.numThreads = 1;
+    IntraFpgaResult serial = floorplanIntraFpga(g, c, l1.partition,
+                                                serial_opt);
+
+    IntraFpgaOptions par_opt;
+    par_opt.numThreads = 4;
+    IntraFpgaResult parallel = floorplanIntraFpga(g, c, l1.partition,
+                                                  par_opt);
+
+    ASSERT_EQ(serial.placement.slotOf.size(),
+              parallel.placement.slotOf.size());
+    for (size_t v = 0; v < serial.placement.slotOf.size(); ++v) {
+        EXPECT_EQ(serial.placement.slotOf[v].col,
+                  parallel.placement.slotOf[v].col) << "vertex " << v;
+        EXPECT_EQ(serial.placement.slotOf[v].row,
+                  parallel.placement.slotOf[v].row) << "vertex " << v;
+    }
+    EXPECT_DOUBLE_EQ(serial.cost, parallel.cost);
+    EXPECT_EQ(serial.allIlpOptimal, parallel.allIlpOptimal);
+    EXPECT_EQ(serial.solverStats.nodesExplored,
+              parallel.solverStats.nodesExplored);
+    EXPECT_EQ(serial.solverStats.lpSolves, parallel.solverStats.lpSolves);
+    EXPECT_GE(parallel.solverStats.threadsUsed, 1);
+}
+
+TEST(HbmBinding, SweepParallelMatchesSerial)
+{
+    TaskGraph g("sweep");
+    for (int i = 0; i < 12; ++i) {
+        Vertex t;
+        t.name = strprintf("t%d", i);
+        t.work.memChannels = 1 + (i % 4);
+        g.addVertex(t);
+    }
+    Cluster c = makePaperTestbed(2);
+    DevicePartition part;
+    part.deviceOf.assign(12, 0);
+    for (int i = 6; i < 12; ++i)
+        part.deviceOf[i] = 1;
+    SlotPlacement place;
+    place.slotOf.assign(12, SlotCoord{0, 0});
+    for (int i = 0; i < 12; ++i)
+        place.slotOf[i].col = i % 2;
+
+    HbmBindingOptions serial_opt;
+    serial_opt.numThreads = 1;
+    HbmBinding a = bindHbmChannels(g, c, part, place, serial_opt);
+
+    HbmBindingOptions par_opt;
+    par_opt.numThreads = 4;
+    HbmBinding b = bindHbmChannels(g, c, part, place, par_opt);
+
+    EXPECT_EQ(a.channelsOf, b.channelsOf);
+    EXPECT_EQ(a.usersPerChannel, b.usersPerChannel);
+    EXPECT_DOUBLE_EQ(a.displacementCost, b.displacementCost);
+}
+
+TEST(HbmBinding, SweepNeverWorseThanClassicHeuristic)
+{
+    TaskGraph g("vs");
+    for (int i = 0; i < 9; ++i) {
+        Vertex t;
+        t.name = strprintf("t%d", i);
+        t.work.memChannels = 2 + (i % 3);
+        g.addVertex(t);
+    }
+    Cluster c = makePaperTestbed(1);
+    DevicePartition part;
+    part.deviceOf.assign(9, 0);
+    SlotPlacement place;
+    place.slotOf.assign(9, SlotCoord{0, 0});
+    for (int i = 0; i < 9; ++i)
+        place.slotOf[i].col = (i * 5) % 2;
+
+    HbmBindingOptions no_sweep;
+    no_sweep.sweep = false;
+    HbmBinding classic = bindHbmChannels(g, c, part, place, no_sweep);
+    HbmBinding swept = bindHbmChannels(g, c, part, place);
+
+    EXPECT_LE(swept.maxContention(0), classic.maxContention(0));
+    if (swept.maxContention(0) == classic.maxContention(0))
+        EXPECT_LE(swept.displacementCost, classic.displacementCost + 1e-9);
 }
 
 // ---- HBM binding --------------------------------------------------------

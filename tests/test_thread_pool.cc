@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Tests for the work-stealing thread pool, TaskGroup and Latch.
+ */
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hh"
+
+namespace tapacs
+{
+namespace
+{
+
+TEST(ThreadPool, ParallelForCoversEveryIndex)
+{
+    ThreadPool pool(4);
+    constexpr int kN = 10000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.parallelFor(0, kN, [&](std::int64_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (int i = 0; i < kN; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForSum)
+{
+    ThreadPool pool(4);
+    constexpr std::int64_t kN = 5000;
+    std::atomic<std::int64_t> sum{0};
+    pool.parallelFor(0, kN, [&](std::int64_t i) {
+        sum.fetch_add(i, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange)
+{
+    ThreadPool pool(2);
+    int calls = 0;
+    pool.parallelFor(5, 5, [&](std::int64_t) { ++calls; });
+    pool.parallelFor(7, 3, [&](std::int64_t) { ++calls; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(0, 100,
+                                  [&](std::int64_t i) {
+                                      if (i == 37)
+                                          throw std::runtime_error("boom");
+                                  }),
+                 std::runtime_error);
+}
+
+TEST(ThreadPool, NestedParallelForCompletes)
+{
+    // Inner parallelFor issued from pool tasks must not deadlock even
+    // when the pool is small: waiting threads help.
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    pool.parallelFor(0, 8, [&](std::int64_t) {
+        pool.parallelFor(0, 16, [&](std::int64_t) {
+            total.fetch_add(1, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ThreadPool, SingleWorkerPoolStillCompletes)
+{
+    ThreadPool pool(1);
+    std::atomic<int> total{0};
+    pool.parallelFor(0, 64, [&](std::int64_t) {
+        total.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, ClampsThreadCount)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.size(), 1);
+    ThreadPool pool2(-3);
+    EXPECT_EQ(pool2.size(), 1);
+}
+
+TEST(TaskGroup, RunsAllTasks)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 100; ++i)
+        group.run([&] { count.fetch_add(1, std::memory_order_relaxed); });
+    group.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(TaskGroup, WaitRethrowsTaskException)
+{
+    ThreadPool pool(2);
+    TaskGroup group(pool);
+    group.run([] { throw std::logic_error("task failed"); });
+    EXPECT_THROW(group.wait(), std::logic_error);
+}
+
+TEST(TaskGroup, WaitTwiceIsSafe)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    TaskGroup group(pool);
+    group.run([&] { count.fetch_add(1); });
+    group.wait();
+    group.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(TaskGroup, TasksMaySubmitMoreTasks)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    TaskGroup group(pool);
+    for (int i = 0; i < 8; ++i) {
+        group.run([&] {
+            count.fetch_add(1, std::memory_order_relaxed);
+            pool.submit([&] {
+                // Fire-and-forget grandchild; just must not wedge the
+                // pool while the group drains.
+            });
+        });
+    }
+    group.wait();
+    EXPECT_EQ(count.load(), 8);
+}
+
+TEST(Latch, BlocksUntilZero)
+{
+    ThreadPool pool(2);
+    Latch latch(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 3; ++i) {
+        pool.submit([&] {
+            done.fetch_add(1, std::memory_order_relaxed);
+            latch.countDown();
+        });
+    }
+    latch.wait();
+    EXPECT_EQ(done.load(), 3);
+}
+
+TEST(Latch, CountDownByN)
+{
+    Latch latch(5);
+    latch.countDown(5);
+    latch.wait(); // must not block
+}
+
+TEST(ThreadPool, DefaultThreadCountHonorsEnv)
+{
+    // setenv/getenv are not thread-safe against concurrent getenv, but
+    // this test runs before any pool in this process touches the
+    // variable again, and gtest runs tests serially.
+    ASSERT_EQ(setenv("TAPACS_THREADS", "3", 1), 0);
+    EXPECT_EQ(ThreadPool::defaultThreadCount(), 3);
+    ASSERT_EQ(setenv("TAPACS_THREADS", "not-a-number", 1), 0);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+    ASSERT_EQ(unsetenv("TAPACS_THREADS"), 0);
+    EXPECT_GE(ThreadPool::defaultThreadCount(), 1);
+}
+
+} // namespace
+} // namespace tapacs

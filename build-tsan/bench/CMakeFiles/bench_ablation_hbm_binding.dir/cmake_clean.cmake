@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hbm_binding.dir/bench_ablation_hbm_binding.cc.o"
+  "CMakeFiles/bench_ablation_hbm_binding.dir/bench_ablation_hbm_binding.cc.o.d"
+  "bench_ablation_hbm_binding"
+  "bench_ablation_hbm_binding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hbm_binding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

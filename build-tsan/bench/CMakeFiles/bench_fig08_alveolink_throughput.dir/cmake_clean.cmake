@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_alveolink_throughput.dir/bench_fig08_alveolink_throughput.cc.o"
+  "CMakeFiles/bench_fig08_alveolink_throughput.dir/bench_fig08_alveolink_throughput.cc.o.d"
+  "bench_fig08_alveolink_throughput"
+  "bench_fig08_alveolink_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_alveolink_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

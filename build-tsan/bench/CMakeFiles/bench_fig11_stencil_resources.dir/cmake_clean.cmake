@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_stencil_resources.dir/bench_fig11_stencil_resources.cc.o"
+  "CMakeFiles/bench_fig11_stencil_resources.dir/bench_fig11_stencil_resources.cc.o.d"
+  "bench_fig11_stencil_resources"
+  "bench_fig11_stencil_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_stencil_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

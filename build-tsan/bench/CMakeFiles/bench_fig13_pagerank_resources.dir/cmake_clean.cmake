@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pagerank_resources.dir/bench_fig13_pagerank_resources.cc.o"
+  "CMakeFiles/bench_fig13_pagerank_resources.dir/bench_fig13_pagerank_resources.cc.o.d"
+  "bench_fig13_pagerank_resources"
+  "bench_fig13_pagerank_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pagerank_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

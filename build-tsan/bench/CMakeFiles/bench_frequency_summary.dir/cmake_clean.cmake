@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frequency_summary.dir/bench_frequency_summary.cc.o"
+  "CMakeFiles/bench_frequency_summary.dir/bench_frequency_summary.cc.o.d"
+  "bench_frequency_summary"
+  "bench_frequency_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frequency_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

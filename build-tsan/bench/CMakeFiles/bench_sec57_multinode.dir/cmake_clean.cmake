@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec57_multinode.dir/bench_sec57_multinode.cc.o"
+  "CMakeFiles/bench_sec57_multinode.dir/bench_sec57_multinode.cc.o.d"
+  "bench_sec57_multinode"
+  "bench_sec57_multinode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec57_multinode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table03_speedups.dir/bench_table03_speedups.cc.o"
+  "CMakeFiles/bench_table03_speedups.dir/bench_table03_speedups.cc.o.d"
+  "bench_table03_speedups"
+  "bench_table03_speedups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table03_speedups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

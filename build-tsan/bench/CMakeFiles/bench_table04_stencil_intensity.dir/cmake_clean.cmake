@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table04_stencil_intensity.dir/bench_table04_stencil_intensity.cc.o"
+  "CMakeFiles/bench_table04_stencil_intensity.dir/bench_table04_stencil_intensity.cc.o.d"
+  "bench_table04_stencil_intensity"
+  "bench_table04_stencil_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table04_stencil_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

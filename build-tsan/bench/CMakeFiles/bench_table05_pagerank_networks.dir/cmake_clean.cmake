@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table05_pagerank_networks.dir/bench_table05_pagerank_networks.cc.o"
+  "CMakeFiles/bench_table05_pagerank_networks.dir/bench_table05_pagerank_networks.cc.o.d"
+  "bench_table05_pagerank_networks"
+  "bench_table05_pagerank_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table05_pagerank_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table07_cnn_volumes.dir/bench_table07_cnn_volumes.cc.o"
+  "CMakeFiles/bench_table07_cnn_volumes.dir/bench_table07_cnn_volumes.cc.o.d"
+  "bench_table07_cnn_volumes"
+  "bench_table07_cnn_volumes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table07_cnn_volumes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table09_bandwidth_hierarchy.dir/bench_table09_bandwidth_hierarchy.cc.o"
+  "CMakeFiles/bench_table09_bandwidth_hierarchy.dir/bench_table09_bandwidth_hierarchy.cc.o.d"
+  "bench_table09_bandwidth_hierarchy"
+  "bench_table09_bandwidth_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table09_bandwidth_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_comm_protocols.dir/bench_table10_comm_protocols.cc.o"
+  "CMakeFiles/bench_table10_comm_protocols.dir/bench_table10_comm_protocols.cc.o.d"
+  "bench_table10_comm_protocols"
+  "bench_table10_comm_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_comm_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cnn_partitioning.dir/cnn_partitioning.cpp.o"
+  "CMakeFiles/cnn_partitioning.dir/cnn_partitioning.cpp.o.d"
+  "cnn_partitioning"
+  "cnn_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cnn_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

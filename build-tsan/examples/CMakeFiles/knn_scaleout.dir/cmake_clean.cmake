@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knn_scaleout.dir/knn_scaleout.cpp.o"
+  "CMakeFiles/knn_scaleout.dir/knn_scaleout.cpp.o.d"
+  "knn_scaleout"
+  "knn_scaleout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knn_scaleout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

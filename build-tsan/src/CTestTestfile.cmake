@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-tsan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("ilp")
+subdirs("graph")
+subdirs("device")
+subdirs("network")
+subdirs("hls")
+subdirs("floorplan")
+subdirs("pipeline")
+subdirs("timing")
+subdirs("sim")
+subdirs("apps")
+subdirs("compiler")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs_apps.dir/cnn.cc.o"
+  "CMakeFiles/tapacs_apps.dir/cnn.cc.o.d"
+  "CMakeFiles/tapacs_apps.dir/knn.cc.o"
+  "CMakeFiles/tapacs_apps.dir/knn.cc.o.d"
+  "CMakeFiles/tapacs_apps.dir/pagerank.cc.o"
+  "CMakeFiles/tapacs_apps.dir/pagerank.cc.o.d"
+  "CMakeFiles/tapacs_apps.dir/stencil.cc.o"
+  "CMakeFiles/tapacs_apps.dir/stencil.cc.o.d"
+  "libtapacs_apps.a"
+  "libtapacs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs_compiler.dir/compiler.cc.o"
+  "CMakeFiles/tapacs_compiler.dir/compiler.cc.o.d"
+  "CMakeFiles/tapacs_compiler.dir/constraints.cc.o"
+  "CMakeFiles/tapacs_compiler.dir/constraints.cc.o.d"
+  "libtapacs_compiler.a"
+  "libtapacs_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

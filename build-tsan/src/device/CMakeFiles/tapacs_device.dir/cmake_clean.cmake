@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs_device.dir/device.cc.o"
+  "CMakeFiles/tapacs_device.dir/device.cc.o.d"
+  "CMakeFiles/tapacs_device.dir/resources.cc.o"
+  "CMakeFiles/tapacs_device.dir/resources.cc.o.d"
+  "libtapacs_device.a"
+  "libtapacs_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

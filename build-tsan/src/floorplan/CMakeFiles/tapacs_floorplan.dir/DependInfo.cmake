@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/floorplan/hbm_binding.cc" "src/floorplan/CMakeFiles/tapacs_floorplan.dir/hbm_binding.cc.o" "gcc" "src/floorplan/CMakeFiles/tapacs_floorplan.dir/hbm_binding.cc.o.d"
+  "/root/repo/src/floorplan/inter_fpga.cc" "src/floorplan/CMakeFiles/tapacs_floorplan.dir/inter_fpga.cc.o" "gcc" "src/floorplan/CMakeFiles/tapacs_floorplan.dir/inter_fpga.cc.o.d"
+  "/root/repo/src/floorplan/intra_fpga.cc" "src/floorplan/CMakeFiles/tapacs_floorplan.dir/intra_fpga.cc.o" "gcc" "src/floorplan/CMakeFiles/tapacs_floorplan.dir/intra_fpga.cc.o.d"
+  "/root/repo/src/floorplan/partition.cc" "src/floorplan/CMakeFiles/tapacs_floorplan.dir/partition.cc.o" "gcc" "src/floorplan/CMakeFiles/tapacs_floorplan.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/tapacs_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/device/CMakeFiles/tapacs_device.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/tapacs_graph.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/network/CMakeFiles/tapacs_network.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ilp/CMakeFiles/tapacs_ilp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs_floorplan.dir/hbm_binding.cc.o"
+  "CMakeFiles/tapacs_floorplan.dir/hbm_binding.cc.o.d"
+  "CMakeFiles/tapacs_floorplan.dir/inter_fpga.cc.o"
+  "CMakeFiles/tapacs_floorplan.dir/inter_fpga.cc.o.d"
+  "CMakeFiles/tapacs_floorplan.dir/intra_fpga.cc.o"
+  "CMakeFiles/tapacs_floorplan.dir/intra_fpga.cc.o.d"
+  "CMakeFiles/tapacs_floorplan.dir/partition.cc.o"
+  "CMakeFiles/tapacs_floorplan.dir/partition.cc.o.d"
+  "libtapacs_floorplan.a"
+  "libtapacs_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

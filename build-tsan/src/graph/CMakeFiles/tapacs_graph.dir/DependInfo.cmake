@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/algorithms.cc" "src/graph/CMakeFiles/tapacs_graph.dir/algorithms.cc.o" "gcc" "src/graph/CMakeFiles/tapacs_graph.dir/algorithms.cc.o.d"
+  "/root/repo/src/graph/serialize.cc" "src/graph/CMakeFiles/tapacs_graph.dir/serialize.cc.o" "gcc" "src/graph/CMakeFiles/tapacs_graph.dir/serialize.cc.o.d"
+  "/root/repo/src/graph/task_graph.cc" "src/graph/CMakeFiles/tapacs_graph.dir/task_graph.cc.o" "gcc" "src/graph/CMakeFiles/tapacs_graph.dir/task_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/tapacs_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/device/CMakeFiles/tapacs_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs_graph.dir/algorithms.cc.o"
+  "CMakeFiles/tapacs_graph.dir/algorithms.cc.o.d"
+  "CMakeFiles/tapacs_graph.dir/serialize.cc.o"
+  "CMakeFiles/tapacs_graph.dir/serialize.cc.o.d"
+  "CMakeFiles/tapacs_graph.dir/task_graph.cc.o"
+  "CMakeFiles/tapacs_graph.dir/task_graph.cc.o.d"
+  "libtapacs_graph.a"
+  "libtapacs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hls/estimator.cc" "src/hls/CMakeFiles/tapacs_hls.dir/estimator.cc.o" "gcc" "src/hls/CMakeFiles/tapacs_hls.dir/estimator.cc.o.d"
+  "/root/repo/src/hls/synthesis.cc" "src/hls/CMakeFiles/tapacs_hls.dir/synthesis.cc.o" "gcc" "src/hls/CMakeFiles/tapacs_hls.dir/synthesis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/tapacs_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/device/CMakeFiles/tapacs_device.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/graph/CMakeFiles/tapacs_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs_hls.dir/estimator.cc.o"
+  "CMakeFiles/tapacs_hls.dir/estimator.cc.o.d"
+  "CMakeFiles/tapacs_hls.dir/synthesis.cc.o"
+  "CMakeFiles/tapacs_hls.dir/synthesis.cc.o.d"
+  "libtapacs_hls.a"
+  "libtapacs_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs_ilp.dir/model.cc.o"
+  "CMakeFiles/tapacs_ilp.dir/model.cc.o.d"
+  "CMakeFiles/tapacs_ilp.dir/simplex.cc.o"
+  "CMakeFiles/tapacs_ilp.dir/simplex.cc.o.d"
+  "CMakeFiles/tapacs_ilp.dir/solver.cc.o"
+  "CMakeFiles/tapacs_ilp.dir/solver.cc.o.d"
+  "libtapacs_ilp.a"
+  "libtapacs_ilp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs_ilp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

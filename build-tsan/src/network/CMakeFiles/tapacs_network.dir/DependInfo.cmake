@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/network/cluster.cc" "src/network/CMakeFiles/tapacs_network.dir/cluster.cc.o" "gcc" "src/network/CMakeFiles/tapacs_network.dir/cluster.cc.o.d"
+  "/root/repo/src/network/link.cc" "src/network/CMakeFiles/tapacs_network.dir/link.cc.o" "gcc" "src/network/CMakeFiles/tapacs_network.dir/link.cc.o.d"
+  "/root/repo/src/network/protocols.cc" "src/network/CMakeFiles/tapacs_network.dir/protocols.cc.o" "gcc" "src/network/CMakeFiles/tapacs_network.dir/protocols.cc.o.d"
+  "/root/repo/src/network/topology.cc" "src/network/CMakeFiles/tapacs_network.dir/topology.cc.o" "gcc" "src/network/CMakeFiles/tapacs_network.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/tapacs_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/device/CMakeFiles/tapacs_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs_network.dir/cluster.cc.o"
+  "CMakeFiles/tapacs_network.dir/cluster.cc.o.d"
+  "CMakeFiles/tapacs_network.dir/link.cc.o"
+  "CMakeFiles/tapacs_network.dir/link.cc.o.d"
+  "CMakeFiles/tapacs_network.dir/protocols.cc.o"
+  "CMakeFiles/tapacs_network.dir/protocols.cc.o.d"
+  "CMakeFiles/tapacs_network.dir/topology.cc.o"
+  "CMakeFiles/tapacs_network.dir/topology.cc.o.d"
+  "libtapacs_network.a"
+  "libtapacs_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

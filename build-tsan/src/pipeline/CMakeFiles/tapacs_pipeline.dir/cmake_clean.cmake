@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs_pipeline.dir/pipelining.cc.o"
+  "CMakeFiles/tapacs_pipeline.dir/pipelining.cc.o.d"
+  "libtapacs_pipeline.a"
+  "libtapacs_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

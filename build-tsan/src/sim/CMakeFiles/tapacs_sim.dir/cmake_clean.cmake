@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs_sim.dir/dataflow_sim.cc.o"
+  "CMakeFiles/tapacs_sim.dir/dataflow_sim.cc.o.d"
+  "CMakeFiles/tapacs_sim.dir/report.cc.o"
+  "CMakeFiles/tapacs_sim.dir/report.cc.o.d"
+  "CMakeFiles/tapacs_sim.dir/server.cc.o"
+  "CMakeFiles/tapacs_sim.dir/server.cc.o.d"
+  "libtapacs_sim.a"
+  "libtapacs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs_timing.dir/frequency.cc.o"
+  "CMakeFiles/tapacs_timing.dir/frequency.cc.o.d"
+  "libtapacs_timing.a"
+  "libtapacs_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

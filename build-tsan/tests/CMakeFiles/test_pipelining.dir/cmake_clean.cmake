@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipelining.dir/test_pipelining.cc.o"
+  "CMakeFiles/test_pipelining.dir/test_pipelining.cc.o.d"
+  "test_pipelining"
+  "test_pipelining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipelining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs-compile.dir/tapacs_compile.cc.o"
+  "CMakeFiles/tapacs-compile.dir/tapacs_compile.cc.o.d"
+  "tapacs-compile"
+  "tapacs-compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs-compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs-graphgen.dir/tapacs_graphgen.cc.o"
+  "CMakeFiles/tapacs-graphgen.dir/tapacs_graphgen.cc.o.d"
+  "tapacs-graphgen"
+  "tapacs-graphgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs-graphgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -8,9 +8,12 @@
 
 #include <chrono>
 #include <map>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.hh"
 #include "common/rng.hh"
 #include "ilp/simplex.hh"
 #include "ilp/solver.hh"
@@ -199,4 +202,19 @@ BENCHMARK(BM_AssignmentIlpMT)
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): accepts the repo-wide
+// `--json <path>` flag by rewriting it into google-benchmark's
+// --benchmark_out / --benchmark_out_format arguments.
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> storage;
+    std::vector<char *> args =
+        tapacs::bench::translateJsonFlag(argc, argv, storage);
+    benchmark::Initialize(&argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(argc, args.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -21,8 +21,9 @@ using namespace tapacs;
 using namespace tapacs::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    JsonReport report(argc, argv);
     std::printf("=== Section 5.6: floorplanning overhead (L1 + L2) "
                 "===\n\n");
 
@@ -52,6 +53,14 @@ main()
                                                       s2.lpSolves)),
              strprintf("%d", std::max(s1.threadsUsed, s2.threadsUsed)),
              row.paper});
+        const std::string key = strprintf("stencil.i%d", row.iters);
+        report.add(key + ".l1_seconds", o.compiled.l1Seconds);
+        report.add(key + ".l2_seconds", o.compiled.l2Seconds);
+        report.add(key + ".bnb_nodes",
+                   static_cast<double>(s1.nodesExplored +
+                                       s2.nodesExplored));
+        report.add(key + ".lp_solves",
+                   static_cast<double>(s1.lpSolves + s2.lpSolves));
     }
     stencil.setTitle("Stencil (2 FPGAs)");
     stencil.print();
@@ -84,6 +93,14 @@ main()
                                                       s2.lpSolves)),
              strprintf("%d", std::max(s1.threadsUsed, s2.threadsUsed)),
              row.paper});
+        const std::string key = strprintf("cnn.f%d", row.fpgas);
+        report.add(key + ".l1_seconds", o.compiled.l1Seconds);
+        report.add(key + ".l2_seconds", o.compiled.l2Seconds);
+        report.add(key + ".bnb_nodes",
+                   static_cast<double>(s1.nodesExplored +
+                                       s2.nodesExplored));
+        report.add(key + ".lp_solves",
+                   static_cast<double>(s1.lpSolves + s2.lpSolves));
     }
     cnn.setTitle("CNN (AutoSA systolic array)");
     cnn.print();

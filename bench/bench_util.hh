@@ -10,16 +10,121 @@
 #ifndef TAPACS_BENCH_BENCH_UTIL_HH
 #define TAPACS_BENCH_BENCH_UTIL_HH
 
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/app_design.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "compiler/compiler.hh"
+#include "obs/trace.hh"
 #include "sim/dataflow_sim.hh"
 
 namespace tapacs::bench
 {
+
+/**
+ * Machine-readable bench results: rows of name -> numeric fields,
+ * written as a JSON array when the report goes out of scope (or on an
+ * explicit write()). Activated by `--json <path>` on the bench
+ * command line; without the flag every add() is a cheap no-op, so
+ * benches call it unconditionally.
+ *
+ * Output shape (one object per row, insertion order):
+ *   [
+ *     {"name": "stencil.l1_seconds", "value": 0.42},
+ *     ...
+ *   ]
+ */
+class JsonReport
+{
+  public:
+    /** Scan argv for `--json <path>`; no flag = disabled report. */
+    JsonReport(int argc, char **argv)
+    {
+        for (int i = 1; i + 1 < argc; ++i) {
+            if (std::strcmp(argv[i], "--json") == 0) {
+                path_ = argv[i + 1];
+                break;
+            }
+        }
+    }
+
+    ~JsonReport() { write(); }
+
+    JsonReport(const JsonReport &) = delete;
+    JsonReport &operator=(const JsonReport &) = delete;
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Record one named scalar result. */
+    void
+    add(const std::string &name, double value)
+    {
+        if (enabled())
+            rows_.emplace_back(name, value);
+    }
+
+    /** Write the file now (idempotent; also runs at destruction). */
+    void
+    write()
+    {
+        if (!enabled() || written_)
+            return;
+        std::ofstream out(path_, std::ios::binary);
+        if (!out) {
+            warn("JsonReport: cannot write '%s'", path_.c_str());
+            return;
+        }
+        out << "[\n";
+        for (size_t i = 0; i < rows_.size(); ++i) {
+            out << "  {\"name\": \"" << obs::jsonEscape(rows_[i].first)
+                << "\", \"value\": "
+                << strprintf("%.17g", rows_[i].second) << "}"
+                << (i + 1 < rows_.size() ? ",\n" : "\n");
+        }
+        out << "]\n";
+        written_ = true;
+    }
+
+  private:
+    std::string path_;
+    std::vector<std::pair<std::string, double>> rows_;
+    bool written_ = false;
+};
+
+/**
+ * Translate a `--json <path>` flag into the google-benchmark
+ * equivalents (`--benchmark_out=<path>`,
+ * `--benchmark_out_format=json`) so benchmark::Initialize consumes
+ * them. Returns the rewritten argv; @p argc is updated in place.
+ * Storage lives in @p storage, which must outlive the returned
+ * pointer array.
+ */
+inline std::vector<char *>
+translateJsonFlag(int &argc, char **argv, std::vector<std::string> &storage)
+{
+    storage.clear();
+    for (int i = 0; i < argc; ++i) {
+        if (i + 1 < argc && std::strcmp(argv[i], "--json") == 0) {
+            storage.push_back(std::string("--benchmark_out=") +
+                              argv[i + 1]);
+            storage.push_back("--benchmark_out_format=json");
+            ++i; // consume the path operand
+        } else {
+            storage.push_back(argv[i]);
+        }
+    }
+    std::vector<char *> out;
+    out.reserve(storage.size());
+    for (std::string &s : storage)
+        out.push_back(s.data());
+    argc = static_cast<int>(out.size());
+    return out;
+}
 
 /** Outcome of compiling + simulating one design point. */
 struct RunOutcome

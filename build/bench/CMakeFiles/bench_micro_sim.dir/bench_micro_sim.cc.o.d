@@ -187,8 +187,30 @@ bench/CMakeFiles/bench_micro_sim.dir/bench_micro_sim.cc.o: \
  /root/repo/src/graph/task_graph.hh /root/repo/src/common/units.hh \
  /root/repo/src/device/resources.hh /usr/include/c++/12/array \
  /root/repo/src/hls/task_ir.hh /root/repo/bench/bench_util.hh \
- /root/repo/src/common/logging.hh /usr/include/c++/12/cstdarg \
- /root/repo/src/common/table.hh /root/repo/src/compiler/compiler.hh \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/fstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/atomic_word.h \
+ /usr/include/x86_64-linux-gnu/sys/single_threaded.h \
+ /usr/include/c++/12/bits/locale_classes.h \
+ /usr/include/c++/12/bits/locale_classes.tcc \
+ /usr/include/c++/12/streambuf /usr/include/c++/12/bits/streambuf.tcc \
+ /usr/include/c++/12/bits/basic_ios.h \
+ /usr/include/c++/12/bits/locale_facets.h /usr/include/c++/12/cwctype \
+ /usr/include/wctype.h /usr/include/x86_64-linux-gnu/bits/wctype-wchar.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_base.h \
+ /usr/include/c++/12/bits/streambuf_iterator.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/ctype_inline.h \
+ /usr/include/c++/12/bits/locale_facets.tcc \
+ /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
+ /usr/include/c++/12/bits/ostream.tcc \
+ /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/bits/codecvt.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /root/repo/src/common/logging.hh \
+ /usr/include/c++/12/cstdarg /root/repo/src/common/table.hh \
+ /root/repo/src/compiler/compiler.hh \
  /root/repo/src/floorplan/hbm_binding.hh \
  /root/repo/src/floorplan/partition.hh /root/repo/src/device/device.hh \
  /root/repo/src/network/cluster.hh /root/repo/src/network/link.hh \
@@ -197,5 +219,21 @@ bench/CMakeFiles/bench_micro_sim.dir/bench_micro_sim.cc.o: \
  /root/repo/src/ilp/model.hh /root/repo/src/ilp/simplex.hh \
  /root/repo/src/floorplan/intra_fpga.hh /root/repo/src/hls/synthesis.hh \
  /root/repo/src/hls/estimator.hh /root/repo/src/pipeline/pipelining.hh \
- /root/repo/src/timing/frequency.hh /root/repo/src/sim/dataflow_sim.hh \
- /root/repo/src/common/stats.hh
+ /root/repo/src/timing/frequency.hh /root/repo/src/obs/trace.hh \
+ /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_raw_storage_iter.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr.h \
+ /usr/include/c++/12/bits/shared_ptr_base.h \
+ /usr/include/c++/12/bits/allocated_ptr.h \
+ /usr/include/c++/12/ext/concurrence.h \
+ /usr/include/c++/12/bits/shared_ptr_atomic.h \
+ /usr/include/c++/12/backward/auto_ptr.h \
+ /usr/include/c++/12/bits/ranges_uninitialized.h \
+ /usr/include/c++/12/bits/uses_allocator_args.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/sim/dataflow_sim.hh /root/repo/src/common/stats.hh

@@ -1,7 +1,9 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <vector>
 
 namespace tapacs
@@ -9,19 +11,41 @@ namespace tapacs
 
 namespace
 {
-LogLevel g_level = LogLevel::Inform;
+
+std::atomic<LogLevel> g_level{LogLevel::Inform};
+
+/**
+ * Serializes emission so concurrent worker threads (PR 1 made the
+ * floorplanners multi-threaded) never interleave characters within a
+ * line. Messages are formatted *before* taking the lock, so the
+ * critical section is one fprintf.
+ */
+std::mutex &
+sinkMutex()
+{
+    static std::mutex mu;
+    return mu;
+}
+
+void
+emit(std::FILE *stream, const char *prefix, const std::string &msg)
+{
+    std::lock_guard<std::mutex> lk(sinkMutex());
+    std::fprintf(stream, "%s: %s\n", prefix, msg.c_str());
+}
+
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 std::string
@@ -55,7 +79,7 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    emit(stderr, "fatal", msg);
     std::exit(1);
 }
 
@@ -66,44 +90,44 @@ panic(const char *fmt, ...)
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    emit(stderr, "panic", msg);
     std::abort();
 }
 
 void
 warn(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Warn)
+    if (logLevel() < LogLevel::Warn)
         return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+    emit(stderr, "warn", msg);
 }
 
 void
 inform(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Inform)
+    if (logLevel() < LogLevel::Inform)
         return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stdout, "info: %s\n", msg.c_str());
+    emit(stdout, "info", msg);
 }
 
 void
 debug(const char *fmt, ...)
 {
-    if (g_level < LogLevel::Debug)
+    if (logLevel() < LogLevel::Debug)
         return;
     va_list args;
     va_start(args, fmt);
     std::string msg = vstrprintf(fmt, args);
     va_end(args);
-    std::fprintf(stderr, "debug: %s\n", msg.c_str());
+    emit(stderr, "debug", msg);
 }
 
 } // namespace tapacs

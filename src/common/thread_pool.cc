@@ -198,6 +198,12 @@ ThreadPool::defaultPool()
 }
 
 int
+ThreadPool::currentWorkerIndex()
+{
+    return tls_worker.pool != nullptr ? tls_worker.index : -1;
+}
+
+int
 ThreadPool::defaultThreadCount()
 {
     if (const char *env = std::getenv("TAPACS_THREADS")) {

@@ -90,6 +90,14 @@ class ThreadPool
      */
     static int defaultThreadCount();
 
+    /**
+     * Index of the pool worker the calling thread is, or -1 when the
+     * caller is not a pool worker. Lets layers that must not link
+     * against the pool's consumers (e.g. the tracing subsystem) tag
+     * work with a stable worker identity.
+     */
+    static int currentWorkerIndex();
+
   private:
     /** One per-worker task deque with its guard. */
     struct Shard

@@ -4,12 +4,48 @@
 
 #include "common/logging.hh"
 #include "network/link.hh"
+#include "obs/trace.hh"
 
 namespace tapacs
 {
 
 namespace
 {
+
+/**
+ * Scoped tracing for one compilation: enables the tracer when
+ * CompileOptions::trace is set and writes the JSON on every exit path
+ * (including the early mode-gate failures). If tracing was already on
+ * (TAPACS_TRACE), the guard only adds the write — it never disables a
+ * tracer it did not enable.
+ */
+class CompileTraceGuard
+{
+  public:
+    explicit CompileTraceGuard(const std::string &path) : path_(path)
+    {
+        if (path_.empty())
+            return;
+        obs::Tracer &tracer = obs::Tracer::instance();
+        wasEnabled_ = tracer.enabled();
+        tracer.enable();
+    }
+
+    ~CompileTraceGuard()
+    {
+        if (path_.empty())
+            return;
+        obs::Tracer &tracer = obs::Tracer::instance();
+        if (!tracer.write(path_))
+            warn("could not write trace to '%s'", path_.c_str());
+        if (!wasEnabled_)
+            tracer.disable();
+    }
+
+  private:
+    std::string path_;
+    bool wasEnabled_ = false;
+};
 
 /**
  * The Vitis stand-in placement: no chip-level view, tasks packed
@@ -103,7 +139,7 @@ compile(const TaskGraph &g, const Cluster &cluster,
         const CompileOptions &options,
         const std::vector<Hertz> &fmaxCeiling)
 {
-    g.validate();
+    CompileTraceGuard trace_guard(options.trace);
     CompileResult out;
     out.mode = options.mode;
 
@@ -115,46 +151,77 @@ compile(const TaskGraph &g, const Cluster &cluster,
               fpgas, cluster.numDevices());
 
     const DeviceModel &dev = cluster.device();
-    out.reservedPerDevice =
-        (multi && options.addNetworkOverhead)
-            ? networkIpArea(dev, options.networkPorts)
-            : ResourceVector{};
 
-    // ---- Mode-specific fit gate ------------------------------------
+    // ---- Step 1: task-graph validation + fit gates ------------------
+    // (Graph *construction* happens in the app builders; this is the
+    // compiler's entry gate on that graph.)
     const ResourceVector total_area = g.totalArea();
-    if (options.mode == CompileMode::VitisBaseline) {
-        const double util = total_area.maxUtilization(dev.totalResources());
-        if (util > options.vitisRoutableUtil) {
-            out.failureReason = strprintf(
-                "Vitis routing failure: device utilization %.1f%% "
-                "exceeds the un-floorplanned routable limit %.1f%%",
-                util * 100.0, options.vitisRoutableUtil * 100.0);
-            return out;
+    {
+        obs::TraceSpan span("compile", "phase1.task_graph");
+        g.validate();
+        span.arg("vertices", static_cast<std::int64_t>(g.numVertices()))
+            .arg("edges", static_cast<std::int64_t>(g.numEdges()))
+            .arg("total_luts", total_area[ResourceKind::Lut]);
+        if (options.mode == CompileMode::VitisBaseline) {
+            const double util =
+                total_area.maxUtilization(dev.totalResources());
+            if (util > options.vitisRoutableUtil) {
+                out.failureReason = strprintf(
+                    "Vitis routing failure: device utilization %.1f%% "
+                    "exceeds the un-floorplanned routable limit %.1f%%",
+                    util * 100.0, options.vitisRoutableUtil * 100.0);
+                return out;
+            }
+        }
+        if (!multi && dev.memory().channels > 0) {
+            // Single-device flows are bounded by the physical channel
+            // count (e.g. 32 HBM channels on the U55C) — the hard limit
+            // the paper's scaled KNN configuration exceeds.
+            int total_ch = 0;
+            for (const auto &v : g.vertices())
+                total_ch += v.work.memChannels;
+            if (total_ch > dev.memory().channels) {
+                out.failureReason = strprintf(
+                    "design binds %d memory channels but the device "
+                    "exposes only %d",
+                    total_ch, dev.memory().channels);
+                return out;
+            }
         }
     }
-    if (!multi && dev.memory().channels > 0) {
-        // Single-device flows are bounded by the physical channel
-        // count (e.g. 32 HBM channels on the U55C) — the hard limit
-        // the paper's scaled KNN configuration exceeds.
-        int total_ch = 0;
-        for (const auto &v : g.vertices())
-            total_ch += v.work.memChannels;
-        if (total_ch > dev.memory().channels) {
-            out.failureReason = strprintf(
-                "design binds %d memory channels but the device exposes "
-                "only %d", total_ch, dev.memory().channels);
-            return out;
-        }
+
+    // ---- Step 4 (reservation half): communication logic -------------
+    // The AlveoLink IP area must be reserved *before* floorplanning so
+    // both levels see the reduced budget; the span covers the
+    // reservation decision.
+    {
+        obs::TraceSpan span("compile", "phase4.comm_logic");
+        out.reservedPerDevice =
+            (multi && options.addNetworkOverhead)
+                ? networkIpArea(dev, options.networkPorts)
+                : ResourceVector{};
+        span.arg("ports",
+                 static_cast<std::int64_t>(multi ? options.networkPorts
+                                                 : 0))
+            .arg("reserved_luts",
+                 out.reservedPerDevice[ResourceKind::Lut]);
     }
 
     // ---- Step 3: inter-FPGA floorplanning (eq. 1-3) -----------------
     if (multi) {
+        obs::TraceSpan span("compile", "phase3.inter_fpga");
         InterFpgaOptions inter = options.inter;
         inter.threshold = options.threshold;
         inter.reserved = out.reservedPerDevice;
         inter.seed = options.seed;
         inter.channelsPerDevice = dev.memory().channels;
         InterFpgaResult l1 = floorplanInterFpga(g, cluster, inter);
+        span.arg("devices", static_cast<std::int64_t>(fpgas))
+            .arg("cost", l1.cost)
+            .arg("cut_traffic_bytes", l1.cutTrafficBytes)
+            .arg("solver_nodes", l1.solverStats.nodesExplored)
+            .arg("lp_iterations", l1.solverStats.lpIterations)
+            .arg("seconds", l1.elapsedSeconds);
         if (!l1.feasible) {
             out.failureReason = strprintf(
                 "no threshold-feasible partition on %d FPGA(s)", fpgas);
@@ -183,47 +250,66 @@ compile(const TaskGraph &g, const Cluster &cluster,
     }
 
     // ---- Step 5: intra-FPGA floorplanning (eq. 4) -------------------
-    if (options.mode == CompileMode::VitisBaseline) {
-        out.placement = naivePackedPlacement(g, dev, out.partition);
-    } else {
-        IntraFpgaOptions intra = options.intra;
-        intra.threshold = options.threshold;
-        intra.reserved = out.reservedPerDevice;
-        intra.seed = options.seed;
-        if (intra.numThreads == 0)
-            intra.numThreads = options.numThreads;
-        IntraFpgaResult l2 =
-            floorplanIntraFpga(g, cluster, out.partition, intra);
-        out.placement = l2.placement;
-        out.l2Seconds = l2.elapsedSeconds;
-        out.l2SolverStats = l2.solverStats;
-    }
+    {
+        obs::TraceSpan span("compile", "phase5.intra_fpga");
+        if (options.mode == CompileMode::VitisBaseline) {
+            out.placement = naivePackedPlacement(g, dev, out.partition);
+        } else {
+            IntraFpgaOptions intra = options.intra;
+            intra.threshold = options.threshold;
+            intra.reserved = out.reservedPerDevice;
+            intra.seed = options.seed;
+            if (intra.numThreads == 0)
+                intra.numThreads = options.numThreads;
+            IntraFpgaResult l2 =
+                floorplanIntraFpga(g, cluster, out.partition, intra);
+            out.placement = l2.placement;
+            out.l2Seconds = l2.elapsedSeconds;
+            out.l2SolverStats = l2.solverStats;
+            span.arg("cost", l2.cost)
+                .arg("solver_nodes", l2.solverStats.nodesExplored)
+                .arg("lp_iterations", l2.solverStats.lpIterations)
+                .arg("seconds", l2.elapsedSeconds);
+        }
 
-    // ---- HBM channel binding ---------------------------------------
-    HbmBindingOptions bind_opt;
-    bind_opt.numThreads = options.numThreads;
-    out.binding =
-        options.mode == CompileMode::VitisBaseline
-            ? naiveBinding(g, cluster, out.partition)
-            : bindHbmChannels(g, cluster, out.partition, out.placement,
-                              bind_opt);
+        // HBM channel binding is the memory half of step 5: the paper
+        // binds channels from the same placement the intra-FPGA ILP
+        // produced.
+        HbmBindingOptions bind_opt;
+        bind_opt.numThreads = options.numThreads;
+        out.binding =
+            options.mode == CompileMode::VitisBaseline
+                ? naiveBinding(g, cluster, out.partition)
+                : bindHbmChannels(g, cluster, out.partition,
+                                  out.placement, bind_opt);
+    }
 
     // ---- Step 6: interconnect pipelining ----------------------------
-    PipelineOptions popt = options.pipeline;
-    if (options.mode == CompileMode::VitisBaseline &&
-        !options.vitisPrePipelined) {
-        // HLS without a placement view under-pipelines: no stages.
-        popt.stagesPerCrossing = 0;
-        popt.balanceReconvergent = false;
+    {
+        obs::TraceSpan span("compile", "phase6.pipelining");
+        PipelineOptions popt = options.pipeline;
+        if (options.mode == CompileMode::VitisBaseline &&
+            !options.vitisPrePipelined) {
+            // HLS without a placement view under-pipelines: no stages.
+            popt.stagesPerCrossing = 0;
+            popt.balanceReconvergent = false;
+        }
+        out.pipeline = planPipelining(g, cluster, out.partition,
+                                      out.placement, popt);
+        span.arg("register_bits", out.pipeline.totalRegisterBits)
+            .arg("balance_bits", out.pipeline.totalBalanceBits);
     }
-    out.pipeline =
-        planPipelining(g, cluster, out.partition, out.placement, popt);
 
     // ---- Step 7 stand-in: timing closure ----------------------------
+    obs::TraceSpan timing_span("compile", "phase7.bitstream");
     out.timing = estimateTiming(g, cluster, out.partition, out.placement,
                                 out.pipeline, fmaxCeiling,
                                 out.reservedPerDevice, options.timing,
                                 &out.binding);
+    timing_span
+        .arg("fmax_mhz", out.timing.designFmax / 1e6)
+        .arg("routable",
+             static_cast<std::int64_t>(out.timing.allRoutable));
     if (!out.timing.allRoutable) {
         for (const auto &dt : out.timing.perDevice) {
             if (!dt.routable) {
@@ -247,13 +333,20 @@ CompileResult
 compileProgram(TaskGraph &g, const std::vector<hls::TaskIr> &tasks,
                const Cluster &cluster, const CompileOptions &options)
 {
-    hls::ProgramSynthesis synth = hls::synthesizeAll(tasks);
-    hls::applySynthesis(g, synth);
+    // The outer guard covers phase 2, which runs before compile()'s
+    // own guard exists; the final write here includes every phase.
+    CompileTraceGuard trace_guard(options.trace);
     std::vector<Hertz> ceilings(g.numVertices(), 340.0e6);
-    for (VertexId v = 0; v < g.numVertices(); ++v) {
-        const hls::SynthesisResult *r = synth.find(g.vertex(v).name);
-        if (r)
-            ceilings[v] = r->fmaxCeiling;
+    {
+        obs::TraceSpan span("compile", "phase2.synthesis");
+        hls::ProgramSynthesis synth = hls::synthesizeAll(tasks);
+        hls::applySynthesis(g, synth);
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            const hls::SynthesisResult *r = synth.find(g.vertex(v).name);
+            if (r)
+                ceilings[v] = r->fmaxCeiling;
+        }
+        span.arg("tasks", static_cast<std::int64_t>(tasks.size()));
     }
     return compile(g, cluster, options, ceilings);
 }

@@ -23,6 +23,7 @@
 #ifndef TAPACS_COMPILER_COMPILER_HH
 #define TAPACS_COMPILER_COMPILER_HH
 
+#include <string>
 #include <vector>
 
 #include "floorplan/hbm_binding.hh"
@@ -80,6 +81,15 @@ struct CompileOptions
      * into intra.numThreads when that is left at 0.
      */
     int numThreads = 0;
+    /**
+     * When non-empty, enable the process tracer for this compilation
+     * and write a Chrome trace_event JSON (chrome://tracing /
+     * Perfetto) to this path when the flow returns. Equivalent to
+     * setting TAPACS_TRACE, but scoped to one compile. The trace
+     * contains one span per flow phase (phase1.* .. phase7.*) plus
+     * the ILP-solver and floorplanner worker spans.
+     */
+    std::string trace;
 
     InterFpgaOptions inter;
     IntraFpgaOptions intra;

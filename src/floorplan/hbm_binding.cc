@@ -6,6 +6,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/trace.hh"
 
 namespace tapacs
 {
@@ -205,8 +206,13 @@ bindHbmChannels(const TaskGraph &g, const Cluster &cluster,
         const int k = static_cast<int>(cell % cands);
         if (users_of[d].empty())
             return;
+        obs::TraceSpan span("floorplan", "hbm.candidate");
         grid[cell] = bindDevice(g, dev, placement, users_of[d],
                                 kCandidates[k]);
+        span.arg("device", static_cast<std::int64_t>(d))
+            .arg("candidate", static_cast<std::int64_t>(k))
+            .arg("contention",
+                 static_cast<std::int64_t>(grid[cell].maxContention));
     };
 
     int threads = options.numThreads;

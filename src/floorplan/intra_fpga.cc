@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/thread_pool.hh"
+#include "obs/trace.hh"
 
 namespace tapacs
 {
@@ -286,6 +287,10 @@ floorplanIntraFpga(const TaskGraph &g, const Cluster &cluster,
     std::vector<DeviceOutcome> outcomes(num_devices);
 
     auto placeDevice = [&](DeviceId d) {
+        // Runs on a pool worker under parallelFor, so these spans land
+        // on per-worker tracks in the trace.
+        obs::TraceSpan span("floorplan",
+                            "intra.device" + std::to_string(d));
         DeviceOutcome &outcome = outcomes[d];
         outcome.stats.provenOptimal = true; // identity for merge()
         DeviceState state;
@@ -396,6 +401,10 @@ floorplanIntraFpga(const TaskGraph &g, const Cluster &cluster,
             tapacs_assert(r.single());
             out.placement.slotOf[state.verts[i]] = SlotCoord{r.c0, r.r0};
         }
+        span.arg("vertices",
+                 static_cast<std::int64_t>(state.verts.size()))
+            .arg("solver_nodes", outcome.stats.nodesExplored)
+            .arg("lp_solves", outcome.stats.lpSolves);
     };
 
     int threads = options.numThreads;

@@ -77,9 +77,10 @@ struct Tableau
     }
 };
 
-/** Run simplex iterations on the current phase objective. */
+/** Run simplex iterations on the current phase objective; the number
+ *  of pivots performed is accumulated into @p pivots. */
 SolveStatus
-iterate(Tableau &t, const SimplexOptions &opt, int max_iters)
+iterate(Tableau &t, const SimplexOptions &opt, int max_iters, int &pivots)
 {
     const double tol = opt.tol;
     bool bland = false;
@@ -133,6 +134,7 @@ iterate(Tableau &t, const SimplexOptions &opt, int max_iters)
             degenerate_streak = 0;
         }
         t.pivot(pr, pc);
+        ++pivots;
     }
     return SolveStatus::LimitReached;
 }
@@ -279,7 +281,7 @@ solveLp(const Model &model, const std::vector<double> &boundsLower,
                 t.cost[bc] = 0.0;
             }
         }
-        SolveStatus st = iterate(t, options, max_iters);
+        SolveStatus st = iterate(t, options, max_iters, out.iterations);
         if (st == SolveStatus::LimitReached) {
             out.status = st;
             return out;
@@ -327,7 +329,7 @@ solveLp(const Model &model, const std::vector<double> &boundsLower,
             t.cost[bc] = 0.0;
         }
     }
-    SolveStatus st = iterate(t, options, max_iters);
+    SolveStatus st = iterate(t, options, max_iters, out.iterations);
     if (st == SolveStatus::Unbounded || st == SolveStatus::LimitReached) {
         out.status = st;
         return out;

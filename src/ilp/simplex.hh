@@ -39,6 +39,9 @@ struct LpResult
     SolveStatus status = SolveStatus::LimitReached;
     double objective = 0.0;
     std::vector<double> values; ///< one value per model variable
+    /** Simplex pivots performed across both phases (the solver's
+     *  per-node effort metric, surfaced in SolverStats). */
+    int iterations = 0;
 };
 
 /**

@@ -9,12 +9,26 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "obs/trace.hh"
 
 namespace tapacs::ilp
 {
 
 namespace
 {
+
+/**
+ * Per-worker effort counters, folded into the shared totals (and the
+ * worker's trace span) once when the worker retires — the search hot
+ * loop touches no shared cache line beyond the node budget.
+ */
+struct WorkerCounters
+{
+    std::int64_t nodes = 0;
+    std::int64_t lpSolves = 0;
+    std::int64_t lpIterations = 0;
+    std::int64_t incumbentUpdates = 0;
+};
 
 /** Pending branch-and-bound node: per-variable bound overrides. */
 struct Node
@@ -70,6 +84,8 @@ struct SharedSearch
 
     std::atomic<std::int64_t> nodesExplored{0};
     std::atomic<std::int64_t> lpSolves{0};
+    std::atomic<std::int64_t> lpIterations{0};
+    std::atomic<std::int64_t> incumbentUpdates{0};
     std::atomic<bool> cleanly{true};
     std::atomic<bool> rootUnbounded{false};
 
@@ -125,13 +141,15 @@ struct SharedSearch
      * Record an integer-feasible point. The atomic bound is lowered
      * with compare-exchange so concurrent improvements never move it
      * upward; the full solution follows under bestMu.
+     *
+     * @retval true the point became the new incumbent.
      */
-    void
+    bool
     offerIncumbent(std::vector<double> vals, double obj)
     {
         std::lock_guard<std::mutex> lk(bestMu);
         if (best.hasSolution() && obj >= best.objective)
-            return;
+            return false;
         best.values = std::move(vals);
         best.objective = obj;
         best.status = SolveStatus::Feasible;
@@ -141,6 +159,7 @@ struct SharedSearch
                    cur, obj, std::memory_order_release,
                    std::memory_order_relaxed)) {
         }
+        return true;
     }
 };
 
@@ -155,7 +174,8 @@ struct SharedSearch
  * @retval true @p dive holds the next node for this worker.
  */
 bool
-expandNode(SharedSearch &sh, Node node, LpWorkspace &ws, Node *dive)
+expandNode(SharedSearch &sh, Node node, LpWorkspace &ws,
+           WorkerCounters &wc, Node *dive)
 {
     const SolverOptions &opt = sh.opt;
     {
@@ -166,7 +186,8 @@ expandNode(SharedSearch &sh, Node node, LpWorkspace &ws, Node *dive)
     }
 
     LpResult lp = solveLp(sh.model, node.lo, node.hi, opt.lp, &ws);
-    sh.lpSolves.fetch_add(1, std::memory_order_relaxed);
+    ++wc.lpSolves;
+    wc.lpIterations += lp.iterations;
 
     if (lp.status == SolveStatus::Infeasible)
         return false;
@@ -214,8 +235,9 @@ expandNode(SharedSearch &sh, Node node, LpWorkspace &ws, Node *dive)
             vals[v] = std::round(vals[v]);
         const double obj = sh.model.objective().evaluate(vals);
         const double inc = sh.incumbent.load(std::memory_order_acquire);
-        if (obj < inc && sh.model.isFeasible(vals, 1e-5))
-            sh.offerIncumbent(std::move(vals), obj);
+        if (obj < inc && sh.model.isFeasible(vals, 1e-5) &&
+            sh.offerIncumbent(std::move(vals), obj))
+            ++wc.incumbentUpdates;
         return false;
     }
 
@@ -256,7 +278,7 @@ expandNode(SharedSearch &sh, Node node, LpWorkspace &ws, Node *dive)
  * limit fires, or stop is requested.
  */
 void
-searchWorker(SharedSearch &sh)
+searchLoop(SharedSearch &sh, WorkerCounters &wc)
 {
     LpWorkspace ws; // per-worker scratch, reused across node LPs
     std::unique_lock<std::mutex> lk(sh.mu);
@@ -278,8 +300,9 @@ searchWorker(SharedSearch &sh)
         while (!sh.stop.load(std::memory_order_relaxed)) {
             if (!sh.reserveNode())
                 break;
+            ++wc.nodes;
             Node next;
-            if (!expandNode(sh, std::move(node), ws, &next))
+            if (!expandNode(sh, std::move(node), ws, wc, &next))
                 break;
             node = std::move(next);
         }
@@ -291,6 +314,22 @@ searchWorker(SharedSearch &sh)
     }
 }
 
+void
+searchWorker(SharedSearch &sh)
+{
+    obs::TraceSpan span("ilp", "ilp.worker");
+    WorkerCounters wc;
+    searchLoop(sh, wc);
+    sh.lpSolves.fetch_add(wc.lpSolves, std::memory_order_relaxed);
+    sh.lpIterations.fetch_add(wc.lpIterations, std::memory_order_relaxed);
+    sh.incumbentUpdates.fetch_add(wc.incumbentUpdates,
+                                  std::memory_order_relaxed);
+    span.arg("nodes", wc.nodes)
+        .arg("lp_solves", wc.lpSolves)
+        .arg("lp_iterations", wc.lpIterations)
+        .arg("incumbent_updates", wc.incumbentUpdates);
+}
+
 } // namespace
 
 void
@@ -298,6 +337,8 @@ SolverStats::merge(const SolverStats &other)
 {
     nodesExplored += other.nodesExplored;
     lpSolves += other.lpSolves;
+    lpIterations += other.lpIterations;
+    incumbentUpdates += other.incumbentUpdates;
     wallSeconds += other.wallSeconds;
     provenOptimal = provenOptimal && other.provenOptimal;
     threadsUsed = std::max(threadsUsed, other.threadsUsed);
@@ -312,13 +353,23 @@ Solution
 BranchBoundSolver::solve(const Model &model,
                          const std::vector<double> &warmStart)
 {
+    obs::TraceSpan span("ilp", "ilp.solve");
     int threads = options_.numThreads;
     if (threads <= 0)
         threads = ThreadPool::defaultPool().size();
     threads = std::max(1, threads);
-    if (threads == 1)
-        return solveSerial(model, warmStart);
-    return solveParallel(model, warmStart, threads);
+    Solution solution = threads == 1
+                            ? solveSerial(model, warmStart)
+                            : solveParallel(model, warmStart, threads);
+    span.arg("vars", static_cast<std::int64_t>(model.numVars()))
+        .arg("threads", stats_.threadsUsed)
+        .arg("nodes", stats_.nodesExplored)
+        .arg("lp_solves", stats_.lpSolves)
+        .arg("lp_iterations", stats_.lpIterations)
+        .arg("incumbent_updates", stats_.incumbentUpdates)
+        .arg("proven_optimal",
+             static_cast<std::int64_t>(stats_.provenOptimal));
+    return solution;
 }
 
 Solution
@@ -371,6 +422,7 @@ BranchBoundSolver::solveSerial(const Model &model,
 
         LpResult lp = solveLp(model, node.lo, node.hi, options_.lp, &ws);
         ++stats_.lpSolves;
+        stats_.lpIterations += lp.iterations;
 
         if (lp.status == SolveStatus::Infeasible)
             continue;
@@ -418,6 +470,7 @@ BranchBoundSolver::solveSerial(const Model &model,
                 best.values = std::move(vals);
                 best.objective = obj;
                 best.status = SolveStatus::Feasible;
+                ++stats_.incumbentUpdates;
             }
             continue;
         }
@@ -493,6 +546,10 @@ BranchBoundSolver::solveParallel(const Model &model,
     stats_.nodesExplored =
         sh.nodesExplored.load(std::memory_order_relaxed);
     stats_.lpSolves = sh.lpSolves.load(std::memory_order_relaxed);
+    stats_.lpIterations =
+        sh.lpIterations.load(std::memory_order_relaxed);
+    stats_.incumbentUpdates =
+        sh.incumbentUpdates.load(std::memory_order_relaxed);
     stats_.wallSeconds = nowSeconds() - t_start;
     stats_.threadsUsed = threads;
 

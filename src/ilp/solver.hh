@@ -51,12 +51,24 @@ struct SolverStats
 {
     std::int64_t nodesExplored = 0;
     std::int64_t lpSolves = 0;
+    /** Total simplex pivots across every node LP. */
+    std::int64_t lpIterations = 0;
+    /** Times the incumbent improved during the search (warm starts
+     *  accepted before the search begins are not counted). */
+    std::int64_t incumbentUpdates = 0;
     double wallSeconds = 0.0;
     bool provenOptimal = false;
     /** Worker threads the search actually used. */
     int threadsUsed = 1;
 
-    /** Fold another run's effort into this one (threads = max). */
+    /**
+     * Fold another run's effort into this one (threads = max,
+     * provenOptimal = and, everything else sums). Summation is
+     * commutative over the integer fields, but callers aggregating
+     * runs that executed concurrently must still merge in a *fixed*
+     * order (e.g. device index) so wallSeconds — a double — folds
+     * identically run to run.
+     */
     void merge(const SolverStats &other);
 };
 

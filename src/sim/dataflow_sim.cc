@@ -5,6 +5,8 @@
 #include <queue>
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 #include "sim/server.hh"
 
 namespace tapacs::sim
@@ -12,6 +14,25 @@ namespace tapacs::sim
 
 namespace
 {
+
+/**
+ * Publish one server's utilization to the process metrics registry
+ * under `tapacs.sim.<resource>.{busy_seconds,wait_seconds,requests}`.
+ * Servers that never served a request are skipped so the registry
+ * holds only resources the run actually touched.
+ */
+void
+exportServerMetrics(const std::string &resource, const Server &server)
+{
+    if (server.requests() == 0)
+        return;
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    const std::string base = "tapacs.sim." + resource;
+    reg.gauge(base + ".busy_seconds").set(server.busyTime());
+    reg.gauge(base + ".wait_seconds").set(server.waitTime());
+    reg.gauge(base + ".requests")
+        .set(static_cast<double>(server.requests()));
+}
 
 /** A scheduled token arrival on an edge. */
 struct TokenEvent
@@ -46,6 +67,7 @@ simulate(const TaskGraph &g, const Cluster &cluster,
          const PipelinePlan &plan, const std::vector<Hertz> &deviceFmax,
          const SimOptions &options)
 {
+    obs::TraceSpan sim_span("sim", "sim.run");
     g.validate();
     const int n = g.numVertices();
     tapacs_assert(static_cast<int>(partition.deviceOf.size()) == n);
@@ -307,6 +329,34 @@ simulate(const TaskGraph &g, const Cluster &cluster,
             hbm_busy += s.busyTime();
     }
     out.stats.set("hbm.busy_seconds", hbm_busy);
+
+    if (options.exportMetrics) {
+        for (DeviceId d = 0; d < cluster.numDevices(); ++d) {
+            for (int c = 0; c < mem.channels; ++c) {
+                exportServerMetrics(strprintf("hbm.d%d.ch%d", d, c),
+                                    hbm[d][c]);
+            }
+        }
+        for (VertexId v = 0; v < n; ++v) {
+            exportServerMetrics("task." + g.vertex(v).name,
+                                datapath[v]);
+        }
+        for (const auto &[pair, server] : netPort) {
+            exportServerMetrics(
+                strprintf("net.d%d.d%d", pair.first, pair.second),
+                server);
+        }
+        for (const auto &[pair, server] : nodeLink) {
+            exportServerMetrics(
+                strprintf("net.node%d.node%d", pair.first, pair.second),
+                server);
+        }
+    }
+
+    sim_span
+        .arg("events", static_cast<std::int64_t>(processed))
+        .arg("makespan_seconds", makespan)
+        .arg("hbm_busy_seconds", hbm_busy);
     return out;
 }
 

@@ -44,6 +44,13 @@ struct SimOptions
     std::uint64_t maxEvents = 50'000'000;
     /** Record one FiringRecord per block (for timeline export). */
     bool recordTimeline = false;
+    /**
+     * Export per-resource utilization (busy time, queueing delay,
+     * request count for every HBM channel, task datapath and network
+     * path) into obs::MetricsRegistry::global() as gauges named
+     * `tapacs.sim.<resource>.<field>` when the run completes.
+     */
+    bool exportMetrics = true;
 };
 
 /** One block's journey through a task (timeline entry). */

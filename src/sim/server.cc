@@ -12,6 +12,7 @@ Server::acquire(Seconds earliest, Seconds duration)
 {
     tapacs_assert(duration >= 0.0);
     const Seconds start = std::max(earliest, busyUntil_);
+    waitTime_ += start - earliest;
     busyUntil_ = start + duration;
     busyTime_ += duration;
     ++requests_;
@@ -23,6 +24,7 @@ Server::reset()
 {
     busyUntil_ = 0.0;
     busyTime_ = 0.0;
+    waitTime_ = 0.0;
     requests_ = 0;
 }
 

@@ -37,15 +37,23 @@ class Server
     /** Total time the resource has spent serving requests. */
     Seconds busyTime() const { return busyTime_; }
 
+    /**
+     * Total queueing delay: the sum over requests of how long each
+     * waited beyond its earliest start because the resource was still
+     * serving someone else. Zero for an uncontended server.
+     */
+    Seconds waitTime() const { return waitTime_; }
+
     /** Number of requests served. */
     std::uint64_t requests() const { return requests_; }
 
-    /** Reset to idle at time zero. */
+    /** Reset to idle at time zero; all accounting returns to zero. */
     void reset();
 
   private:
     Seconds busyUntil_ = 0.0;
     Seconds busyTime_ = 0.0;
+    Seconds waitTime_ = 0.0;
     std::uint64_t requests_ = 0;
 };
 

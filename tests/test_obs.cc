@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Tests for the observability subsystem: the trace recorder (spans,
+ * instants, counters, Chrome JSON export, per-thread tracks), the
+ * metrics registry, and the profiling hooks wired through the compile
+ * flow (seven phase spans, worker tracks) and the solver
+ * (deterministic SolverStats aggregation).
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/stencil.hh"
+#include "common/thread_pool.hh"
+#include "compiler/compiler.hh"
+#include "floorplan/intra_fpga.hh"
+#include "ilp/solver.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace tapacs
+{
+namespace
+{
+
+/** Disable + clear the tracer on entry and exit so suites that run
+ *  before/after (and a TAPACS_TRACE inherited from the environment)
+ *  cannot leak events into each other. */
+struct TracerSandbox
+{
+    TracerSandbox()
+    {
+        obs::Tracer::instance().disable();
+        obs::Tracer::instance().clear();
+    }
+    ~TracerSandbox()
+    {
+        obs::Tracer::instance().disable();
+        obs::Tracer::instance().clear();
+    }
+};
+
+int
+countOccurrences(const std::string &haystack, const std::string &needle)
+{
+    int n = 0;
+    for (size_t pos = haystack.find(needle); pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+TEST(Trace, DisabledTracerRecordsNothing)
+{
+    TracerSandbox sandbox;
+    obs::Tracer &t = obs::Tracer::instance();
+    ASSERT_FALSE(t.enabled());
+    {
+        obs::TraceSpan span("test", "ignored");
+        EXPECT_FALSE(span.active());
+        span.arg("k", 1.0);
+    }
+    t.instant("test", "ignored");
+    t.counter("test", "ignored", 1.0);
+    EXPECT_EQ(t.eventCount(), 0u);
+}
+
+TEST(Trace, SpanInstantCounterRoundTrip)
+{
+    TracerSandbox sandbox;
+    obs::Tracer &t = obs::Tracer::instance();
+    t.enable();
+    {
+        obs::TraceSpan span("cat", "outer");
+        ASSERT_TRUE(span.active());
+        span.arg("count", static_cast<std::int64_t>(42))
+            .arg("ratio", 0.5)
+            .arg("label", std::string("a\"b"));
+    }
+    t.instant("cat", "tick");
+    t.counter("cat", "queue_depth", 3.0);
+    t.disable();
+    EXPECT_EQ(t.eventCount(), 3u);
+
+    const std::string json = t.toJson();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"outer\""), std::string::npos);
+    EXPECT_NE(json.find("\"count\":42"), std::string::npos);
+    EXPECT_NE(json.find("a\\\"b"), std::string::npos); // escaped arg
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+    // Every buffer announces its thread name.
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(Trace, SpanOpenAcrossDisableIsDropped)
+{
+    TracerSandbox sandbox;
+    obs::Tracer &t = obs::Tracer::instance();
+    t.enable();
+    {
+        obs::TraceSpan span("cat", "crossing");
+        t.disable(); // writer raced with shutdown
+    }
+    EXPECT_EQ(t.eventCount(), 0u);
+}
+
+TEST(Trace, WriteProducesLoadableFile)
+{
+    TracerSandbox sandbox;
+    obs::Tracer &t = obs::Tracer::instance();
+    t.enable();
+    { obs::TraceSpan span("cat", "solo"); }
+    t.disable();
+
+    const std::string path = ::testing::TempDir() + "obs_write.json";
+    ASSERT_TRUE(t.write(path));
+    const std::string json = slurp(path);
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_NE(json.find("\"solo\""), std::string::npos);
+    EXPECT_FALSE(t.write("/nonexistent-dir/trace.json"));
+    std::remove(path.c_str());
+}
+
+TEST(Trace, PoolWorkersGetDistinctTracks)
+{
+    if (ThreadPool::defaultPool().size() < 2)
+        GTEST_SKIP() << "needs >= 2 pool workers (set TAPACS_THREADS)";
+    TracerSandbox sandbox;
+    obs::Tracer &t = obs::Tracer::instance();
+    t.enable();
+    // Rendezvous: all three tasks must be in flight at once, so at
+    // least two land on distinct pool workers (the caller's helping
+    // hand in TaskGroup::wait can absorb at most one).
+    ThreadPool &pool = ThreadPool::defaultPool();
+    Latch latch(3);
+    TaskGroup group(pool);
+    for (int i = 0; i < 3; ++i) {
+        group.run([&latch, i] {
+            obs::TraceSpan span("test",
+                                "rendezvous" + std::to_string(i));
+            latch.countDown();
+            latch.wait();
+        });
+    }
+    group.wait();
+    t.disable();
+    const std::string json = t.toJson();
+    EXPECT_GE(countOccurrences(json, "pool-worker-"), 2);
+}
+
+TEST(Metrics, CounterGaugeHistogramBasics)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter &c = reg.counter("tapacs.test.count");
+    c.add();
+    c.add(4);
+    EXPECT_EQ(c.value(), 5);
+    // Same name resolves to the same node.
+    EXPECT_EQ(&reg.counter("tapacs.test.count"), &c);
+
+    obs::Gauge &g = reg.gauge("tapacs.test.level");
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+
+    obs::Histogram &h = reg.histogram("tapacs.test.lat", {1.0, 10.0});
+    h.observe(0.5);  // bucket 0
+    h.observe(1.0);  // bucket 0 (<= bound)
+    h.observe(5.0);  // bucket 1
+    h.observe(99.0); // overflow
+    EXPECT_EQ(h.count(), 4);
+    EXPECT_DOUBLE_EQ(h.sum(), 105.5);
+    EXPECT_EQ(h.bucketCounts(), (std::vector<std::int64_t>{2, 1, 1}));
+}
+
+TEST(Metrics, SnapshotAndRender)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("tapacs.test.count").add(7);
+    reg.gauge("tapacs.test.level").set(1.25);
+    reg.histogram("tapacs.test.lat", {1.0}).observe(3.0);
+
+    obs::MetricsSnapshot snap = reg.snapshot();
+    ASSERT_TRUE(snap.hasCounter("tapacs.test.count"));
+    ASSERT_TRUE(snap.hasGauge("tapacs.test.level"));
+    EXPECT_FALSE(snap.hasCounter("tapacs.test.level")); // wrong kind
+    EXPECT_EQ(snap.counterValue("tapacs.test.count"), 7);
+    EXPECT_DOUBLE_EQ(snap.gaugeValue("tapacs.test.level"), 1.25);
+    ASSERT_EQ(snap.histograms.count("tapacs.test.lat"), 1u);
+    EXPECT_EQ(snap.histograms.at("tapacs.test.lat").count, 1);
+
+    const std::string table = snap.renderTable();
+    EXPECT_NE(table.find("tapacs.test.count"), std::string::npos);
+    const std::string json = snap.renderJson();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"tapacs.test.level\":1.25"),
+              std::string::npos);
+
+    reg.clear();
+    obs::MetricsSnapshot zeroed = reg.snapshot();
+    EXPECT_EQ(zeroed.counterValue("tapacs.test.count"), 0);
+    EXPECT_DOUBLE_EQ(zeroed.gaugeValue("tapacs.test.level"), 0.0);
+    EXPECT_EQ(zeroed.histograms.at("tapacs.test.lat").count, 0);
+}
+
+TEST(Metrics, HandlesAreThreadSafe)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter &c = reg.counter("tapacs.test.mt");
+    obs::Histogram &h = reg.histogram("tapacs.test.mt_lat", {0.5});
+    ThreadPool::defaultPool().parallelFor(0, 10'000,
+                                          [&](std::int64_t i) {
+                                              c.add();
+                                              h.observe(i % 2 ? 1.0
+                                                              : 0.25);
+                                          });
+    EXPECT_EQ(c.value(), 10'000);
+    EXPECT_EQ(h.count(), 10'000);
+    EXPECT_EQ(h.bucketCounts()[0] + h.bucketCounts()[1], 10'000);
+}
+
+/**
+ * Acceptance: a full-flow stencil compile with tracing on produces a
+ * Chrome-trace JSON containing spans for all seven compiler phases
+ * plus at least two distinct worker-thread tracks.
+ */
+TEST(Trace, FullFlowCompileEmitsSevenPhasesAndWorkerTracks)
+{
+    TracerSandbox sandbox;
+    apps::AppDesign app =
+        apps::buildStencil(apps::StencilConfig::scaled(64, 2));
+    Cluster cluster = makePaperTestbed(2);
+    CompileOptions options;
+    options.mode = CompileMode::TapaCs;
+    options.numFpgas = 2;
+    options.numThreads = 4;
+    const std::string path = ::testing::TempDir() + "obs_compile.json";
+    options.trace = path;
+
+    CompileResult result =
+        compileProgram(app.graph, app.tasks, cluster, options);
+    ASSERT_TRUE(result.routable) << result.failureReason;
+    // The guard disables tracing once the compile finishes.
+    EXPECT_FALSE(obs::Tracer::instance().enabled());
+
+    const std::string json = slurp(path);
+    for (const char *phase :
+         {"phase1.task_graph", "phase2.synthesis", "phase3.inter_fpga",
+          "phase4.comm_logic", "phase5.intra_fpga",
+          "phase6.pipelining", "phase7.bitstream"})
+        EXPECT_NE(json.find(phase), std::string::npos) << phase;
+    // Per-device intra-FPGA and HBM-binding spans run on pool
+    // workers, so the trace must carry >= 2 worker tracks.
+    if (ThreadPool::defaultPool().size() >= 2) {
+        EXPECT_GE(countOccurrences(json, "pool-worker-"), 2);
+    }
+    // Solver spans carry the per-worker search counters.
+    EXPECT_NE(json.find("ilp.solve"), std::string::npos);
+    EXPECT_NE(json.find("lp_iterations"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(Solver, StatsCountLpIterationsAndIncumbents)
+{
+    // A small knapsack forces branching, so every stat must move.
+    ilp::Model m;
+    ilp::LinExpr cap, obj;
+    for (int i = 0; i < 12; ++i) {
+        const ilp::VarId v = m.addBinary();
+        cap.add(v, 1.0 + (i % 5));
+        obj.add(v, -(1.0 + ((7 * i) % 11)));
+    }
+    m.addConstraint(std::move(cap), ilp::Sense::LessEqual, 14.0);
+    m.setObjective(std::move(obj));
+
+    for (int threads : {1, 4}) {
+        ilp::SolverOptions opt;
+        opt.numThreads = threads;
+        ilp::BranchBoundSolver solver(opt);
+        ilp::Solution s = solver.solve(m);
+        ASSERT_TRUE(s.hasSolution());
+        const ilp::SolverStats &st = solver.stats();
+        EXPECT_GT(st.lpSolves, 0) << threads;
+        EXPECT_GE(st.lpIterations, st.lpSolves) << threads;
+        EXPECT_GT(st.incumbentUpdates, 0) << threads;
+    }
+}
+
+/**
+ * Regression (deterministic aggregation): the level-2 pass folds
+ * per-device outcomes in device order and keeps each bisection ILP
+ * serial, so the aggregate SolverStats must be bit-identical run to
+ * run and across outer thread counts.
+ */
+TEST(Floorplan, IntraFpgaStatsDeterministicAcrossThreads)
+{
+    apps::AppDesign app =
+        apps::buildStencil(apps::StencilConfig::scaled(64, 2));
+    Cluster cluster = makePaperTestbed(2);
+    DevicePartition part;
+    for (VertexId v = 0; v < app.graph.numVertices(); ++v)
+        part.deviceOf.push_back(v % 2);
+
+    auto run = [&](int threads) {
+        IntraFpgaOptions opt;
+        opt.numThreads = threads;
+        // Rule out time-limit nondeterminism: node budget binds first.
+        opt.solver.timeLimitSeconds = 1.0e9;
+        return floorplanIntraFpga(app.graph, cluster, part, opt);
+    };
+
+    const IntraFpgaResult base = run(1);
+    for (int i = 0; i < 2; ++i) {
+        const IntraFpgaResult mt = run(4);
+        EXPECT_EQ(mt.solverStats.nodesExplored,
+                  base.solverStats.nodesExplored);
+        EXPECT_EQ(mt.solverStats.lpSolves, base.solverStats.lpSolves);
+        EXPECT_EQ(mt.solverStats.lpIterations,
+                  base.solverStats.lpIterations);
+        EXPECT_EQ(mt.solverStats.incumbentUpdates,
+                  base.solverStats.incumbentUpdates);
+        EXPECT_EQ(mt.allIlpOptimal, base.allIlpOptimal);
+        EXPECT_EQ(mt.placement.slotOf.size(),
+                  base.placement.slotOf.size());
+        for (size_t v = 0; v < base.placement.slotOf.size(); ++v) {
+            EXPECT_EQ(mt.placement.slotOf[v].col,
+                      base.placement.slotOf[v].col);
+            EXPECT_EQ(mt.placement.slotOf[v].row,
+                      base.placement.slotOf[v].row);
+        }
+    }
+}
+
+} // namespace
+} // namespace tapacs
+
+/**
+ * Custom main: the worker-track tests need a multi-worker default
+ * pool even on single-core CI boxes, so seed TAPACS_THREADS before
+ * anything instantiates the pool. An explicit user setting wins.
+ */
+int
+main(int argc, char **argv)
+{
+    ::setenv("TAPACS_THREADS", "4", /*overwrite=*/0);
+    ::testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -21,6 +21,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build-tsan/src/graph/CMakeFiles/tapacs_graph.dir/DependInfo.cmake"
   "/root/repo/build-tsan/src/network/CMakeFiles/tapacs_network.dir/DependInfo.cmake"
   "/root/repo/build-tsan/src/ilp/CMakeFiles/tapacs_ilp.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/tapacs_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

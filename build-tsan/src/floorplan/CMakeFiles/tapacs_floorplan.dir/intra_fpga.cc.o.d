@@ -257,4 +257,4 @@ src/floorplan/CMakeFiles/tapacs_floorplan.dir/intra_fpga.cc.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/thread
+ /usr/include/c++/12/thread /root/repo/src/obs/trace.hh

@@ -16,6 +16,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build-tsan/src/common/CMakeFiles/tapacs_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/tapacs_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

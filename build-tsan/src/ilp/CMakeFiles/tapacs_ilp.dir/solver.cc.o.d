@@ -249,4 +249,5 @@ src/ilp/CMakeFiles/tapacs_ilp.dir/solver.cc.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/thread
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/thread \
+ /root/repo/src/obs/trace.hh

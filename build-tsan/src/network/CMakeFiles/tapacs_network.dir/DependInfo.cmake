@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/network/cluster.cc" "src/network/CMakeFiles/tapacs_network.dir/cluster.cc.o" "gcc" "src/network/CMakeFiles/tapacs_network.dir/cluster.cc.o.d"
+  "/root/repo/src/network/faults.cc" "src/network/CMakeFiles/tapacs_network.dir/faults.cc.o" "gcc" "src/network/CMakeFiles/tapacs_network.dir/faults.cc.o.d"
   "/root/repo/src/network/link.cc" "src/network/CMakeFiles/tapacs_network.dir/link.cc.o" "gcc" "src/network/CMakeFiles/tapacs_network.dir/link.cc.o.d"
   "/root/repo/src/network/protocols.cc" "src/network/CMakeFiles/tapacs_network.dir/protocols.cc.o" "gcc" "src/network/CMakeFiles/tapacs_network.dir/protocols.cc.o.d"
   "/root/repo/src/network/topology.cc" "src/network/CMakeFiles/tapacs_network.dir/topology.cc.o" "gcc" "src/network/CMakeFiles/tapacs_network.dir/topology.cc.o.d"
@@ -18,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build-tsan/src/common/CMakeFiles/tapacs_common.dir/DependInfo.cmake"
   "/root/repo/build-tsan/src/device/CMakeFiles/tapacs_device.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/tapacs_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

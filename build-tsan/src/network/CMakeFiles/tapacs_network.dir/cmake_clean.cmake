@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/tapacs_network.dir/cluster.cc.o"
   "CMakeFiles/tapacs_network.dir/cluster.cc.o.d"
+  "CMakeFiles/tapacs_network.dir/faults.cc.o"
+  "CMakeFiles/tapacs_network.dir/faults.cc.o.d"
   "CMakeFiles/tapacs_network.dir/link.cc.o"
   "CMakeFiles/tapacs_network.dir/link.cc.o.d"
   "CMakeFiles/tapacs_network.dir/protocols.cc.o"

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs_obs.dir/metrics.cc.o"
+  "CMakeFiles/tapacs_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/tapacs_obs.dir/trace.cc.o"
+  "CMakeFiles/tapacs_obs.dir/trace.cc.o.d"
+  "libtapacs_obs.a"
+  "libtapacs_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtapacs_obs.a"
+)

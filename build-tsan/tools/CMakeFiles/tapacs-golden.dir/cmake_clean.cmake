@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tapacs-golden.dir/tapacs_golden.cc.o"
+  "CMakeFiles/tapacs-golden.dir/tapacs_golden.cc.o.d"
+  "tapacs-golden"
+  "tapacs-golden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tapacs-golden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace-summary.dir/trace_summary.cc.o"
+  "CMakeFiles/trace-summary.dir/trace_summary.cc.o.d"
+  "trace-summary"
+  "trace-summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace-summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -4,3 +4,5 @@
 # 
 # This file includes the relevant testing commands required for 
 # testing this directory and lists subdirectories to be tested as well.
+add_test(golden_files "/root/repo/build-tsan/tools/tapacs-golden" "--check" "/root/repo/tests/golden")
+set_tests_properties(golden_files PROPERTIES  LABELS "faults;golden" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;18;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -241,4 +241,10 @@ bench/CMakeFiles/bench_micro_solver.dir/bench_micro_solver.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/sim/dataflow_sim.hh /root/repo/src/common/stats.hh \
+ /root/repo/src/network/faults.hh /root/repo/src/network/protocols.hh \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/optional \
  /root/repo/src/common/rng.hh

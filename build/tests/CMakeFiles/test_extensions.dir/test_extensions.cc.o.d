@@ -307,4 +307,5 @@ tests/CMakeFiles/test_extensions.dir/test_extensions.cc.o: \
  /root/repo/src/floorplan/intra_fpga.hh /root/repo/src/hls/synthesis.hh \
  /root/repo/src/hls/estimator.hh /root/repo/src/pipeline/pipelining.hh \
  /root/repo/src/timing/frequency.hh /root/repo/src/sim/dataflow_sim.hh \
- /root/repo/src/common/stats.hh /root/repo/src/sim/report.hh
+ /root/repo/src/common/stats.hh /root/repo/src/network/faults.hh \
+ /root/repo/src/network/protocols.hh /root/repo/src/sim/report.hh

@@ -296,4 +296,4 @@ tests/CMakeFiles/test_network.dir/test_network.cc.o: \
  /root/repo/src/network/cluster.hh /root/repo/src/device/device.hh \
  /root/repo/src/common/units.hh /root/repo/src/device/resources.hh \
  /root/repo/src/network/link.hh /root/repo/src/network/topology.hh \
- /root/repo/src/network/protocols.hh
+ /root/repo/src/network/protocols.hh /root/repo/src/network/faults.hh

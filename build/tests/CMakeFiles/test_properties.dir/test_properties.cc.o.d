@@ -305,4 +305,5 @@ tests/CMakeFiles/test_properties.dir/test_properties.cc.o: \
  /root/repo/src/floorplan/intra_fpga.hh /root/repo/src/hls/synthesis.hh \
  /root/repo/src/hls/estimator.hh /root/repo/src/hls/task_ir.hh \
  /root/repo/src/pipeline/pipelining.hh /root/repo/src/timing/frequency.hh \
+ /root/repo/src/network/faults.hh /root/repo/src/network/protocols.hh \
  /root/repo/src/sim/dataflow_sim.hh /root/repo/src/common/stats.hh

@@ -302,4 +302,5 @@ tests/CMakeFiles/test_sim.dir/test_sim.cc.o: /root/repo/tests/test_sim.cc \
  /root/repo/src/common/units.hh /root/repo/src/device/resources.hh \
  /root/repo/src/graph/task_graph.hh /root/repo/src/network/cluster.hh \
  /root/repo/src/network/link.hh /root/repo/src/network/topology.hh \
+ /root/repo/src/network/faults.hh /root/repo/src/network/protocols.hh \
  /root/repo/src/pipeline/pipelining.hh /root/repo/src/sim/server.hh

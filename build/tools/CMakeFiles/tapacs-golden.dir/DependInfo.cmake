@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/tapacs_golden.cc" "tools/CMakeFiles/tapacs-golden.dir/tapacs_golden.cc.o" "gcc" "tools/CMakeFiles/tapacs-golden.dir/tapacs_golden.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compiler/CMakeFiles/tapacs_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tapacs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/tapacs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/tapacs_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/tapacs_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/floorplan/CMakeFiles/tapacs_floorplan.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/tapacs_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/ilp/CMakeFiles/tapacs_ilp.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/tapacs_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/tapacs_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/tapacs_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/tapacs_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tapacs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -330,6 +330,60 @@ compile(const TaskGraph &g, const Cluster &cluster,
 }
 
 CompileResult
+replan(const TaskGraph &g, const Cluster &cluster,
+       const CompileOptions &options,
+       const std::vector<DeviceId> &failedDevices,
+       const DevicePartition *previous,
+       const std::vector<Hertz> &fmaxCeiling)
+{
+    if (options.mode != CompileMode::TapaCs || options.numFpgas <= 1) {
+        fatal("replan: only the multi-FPGA TAPA-CS flow can exclude "
+              "failed devices (mode %s, %d FPGA(s))",
+              toString(options.mode), options.numFpgas);
+    }
+
+    std::vector<char> allowed(options.numFpgas, 1);
+    for (DeviceId d : failedDevices) {
+        if (d < 0 || d >= options.numFpgas)
+            fatal("replan: failed device %d out of range [0, %d)", d,
+                  options.numFpgas);
+        allowed[d] = 0;
+    }
+    int survivors = 0;
+    for (char a : allowed)
+        survivors += a ? 1 : 0;
+    if (survivors == 0) {
+        CompileResult out;
+        out.mode = options.mode;
+        out.failureReason = "replan: every device has failed";
+        return out;
+    }
+
+    CompileOptions opts = options;
+    opts.inter.deviceAllowed = allowed;
+    opts.inter.hint.clear();
+    if (previous != nullptr) {
+        if (static_cast<int>(previous->deviceOf.size()) !=
+            g.numVertices()) {
+            fatal("replan: previous partition covers %zu vertices but "
+                  "the graph has %d",
+                  previous->deviceOf.size(), g.numVertices());
+        }
+        opts.inter.hint.assign(g.numVertices(), -1);
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            const DeviceId d = previous->deviceOf[v];
+            if (d >= 0 && d < options.numFpgas && allowed[d])
+                opts.inter.hint[v] = d;
+        }
+    }
+
+    inform("replan: %zu device(s) failed, re-floorplanning onto %d "
+           "survivor(s)",
+           failedDevices.size(), survivors);
+    return compile(g, cluster, opts, fmaxCeiling);
+}
+
+CompileResult
 compileProgram(TaskGraph &g, const std::vector<hls::TaskIr> &tasks,
                const Cluster &cluster, const CompileOptions &options)
 {

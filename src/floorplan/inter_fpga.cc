@@ -164,7 +164,8 @@ deviceBudget(const TaskGraph &g, const Cluster &cluster,
     ResourceVector cap = full;
     cap *= opt.threshold;
     cap -= opt.reserved;
-    const int f = cluster.numDevices();
+    // Balance the design over the devices that may actually host it.
+    const int f = opt.numAllowed(cluster.numDevices());
     if (f > 1 && opt.balanceSlack > 0.0) {
         const ResourceVector total = g.totalArea();
         for (int r = 0; r < kNumResourceKinds; ++r) {
@@ -221,6 +222,8 @@ greedyAssign(const TaskGraph &g, const Cluster &cluster,
         double best_cost = std::numeric_limits<double>::infinity();
         bool best_feasible = false;
         for (int d = 0; d < f; ++d) {
+            if (!opt.allowed(d))
+                continue;
             ResourceVector after = used[d];
             after += g.vertex(v).area;
             bool feasible = after.fitsWithin(budget);
@@ -245,6 +248,10 @@ greedyAssign(const TaskGraph &g, const Cluster &cluster,
                 addEdgeCost(e, g.edge(e).src);
             cost += balance_scale *
                     std::max(after.maxUtilization(cap), ch_frac);
+            // Warm-start bias: keep a vertex where it used to live
+            // unless the communication objective clearly disagrees.
+            if (!opt.hint.empty() && opt.hint[v] == d)
+                cost -= 0.5 * balance_scale;
             if (!feasible) {
                 cost += 1.0e12 * std::max(after.maxUtilization(budget),
                                           ch_frac);
@@ -327,7 +334,7 @@ repairChannels(const TaskGraph &g, const Cluster &cluster,
             return; // nothing movable; the caller's check will fail
         int target = -1;
         for (int d = 0; d < f; ++d) {
-            if (d == over)
+            if (d == over || !opt.allowed(d))
                 continue;
             if (ch[d] + g.vertex(mover).work.memChannels >
                 opt.channelsPerDevice) {
@@ -393,11 +400,17 @@ refine(const TaskGraph &g, const Cluster &cluster,
                         c += g.edge(e).widthBits *
                              cluster.costDistance(p.deviceOf[o], d);
                 }
+                // Same migration penalty the ILP pays (replan only).
+                if (!opt.hint.empty() && opt.hint[v] >= 0 &&
+                    opt.hint[v] < f && opt.allowed(opt.hint[v]) &&
+                    d != opt.hint[v]) {
+                    c += opt.hintWeight;
+                }
                 return c;
             };
             cur_cost = edgeCost(cur);
             for (int d = 0; d < f; ++d) {
-                if (d == cur)
+                if (d == cur || !opt.allowed(d))
                     continue;
                 ResourceVector after = used[d];
                 after += g.vertex(v).area;
@@ -449,6 +462,15 @@ solveAssignmentIlp(const TaskGraph &g, const Cluster &cluster,
         for (int d = 0; d < f; ++d)
             sum.add(x[v * f + d], 1.0);
         model.addConstraint(std::move(sum), ilp::Sense::Equal, 1.0);
+    }
+    // Failed devices host nothing (replan exclusion).
+    for (int d = 0; d < f; ++d) {
+        if (opt.allowed(d))
+            continue;
+        ilp::LinExpr none;
+        for (int v = 0; v < n; ++v)
+            none.add(x[v * f + d], 1.0);
+        model.addConstraint(std::move(none), ilp::Sense::Equal, 0.0);
     }
     // Resource threshold per device (eq. 1).
     for (int d = 0; d < f; ++d) {
@@ -512,6 +534,20 @@ solveAssignmentIlp(const TaskGraph &g, const Cluster &cluster,
         }
         objective.add(de, static_cast<double>(edge.widthBits));
     }
+    // Migration penalty: a hinted vertex pays hintWeight for leaving
+    // its previous device, so a replan moves survivors only when the
+    // communication saving covers the re-routing cost.
+    if (!opt.hint.empty() && opt.hintWeight > 0.0) {
+        for (int v = 0; v < n; ++v) {
+            const DeviceId h = opt.hint[v];
+            if (h < 0 || h >= f || !opt.allowed(h))
+                continue;
+            for (int d = 0; d < f; ++d) {
+                if (d != h)
+                    objective.add(x[v * f + d], opt.hintWeight);
+            }
+        }
+    }
     model.setObjective(std::move(objective));
 
     // Warm start from the greedy seed.
@@ -545,6 +581,25 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
     g.validate();
 
     const int f = cluster.numDevices();
+    if (!options.deviceAllowed.empty() &&
+        static_cast<int>(options.deviceAllowed.size()) != f) {
+        fatal("deviceAllowed mask covers %d devices but the cluster "
+              "has %d",
+              static_cast<int>(options.deviceAllowed.size()), f);
+    }
+    if (!options.hint.empty() &&
+        static_cast<int>(options.hint.size()) != g.numVertices()) {
+        fatal("warm-start hint covers %d vertices but the graph has %d",
+              static_cast<int>(options.hint.size()), g.numVertices());
+    }
+    const int avail = options.numAllowed(f);
+    if (avail == 0) {
+        warn("no usable device left for '%s' — every FPGA excluded",
+             g.name().c_str());
+        InterFpgaResult out;
+        out.feasible = false;
+        return out;
+    }
     const ResourceVector budget = deviceBudget(g, cluster, options);
     for (int r = 0; r < kNumResourceKinds; ++r) {
         const auto kind = static_cast<ResourceKind>(r);
@@ -552,11 +607,11 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
             fatal("reserved resources exceed the per-device budget for %s",
                   toString(kind));
         const double need = g.totalArea()[kind];
-        if (need > budget[kind] * f + 1e-9) {
+        if (need > budget[kind] * avail + 1e-9) {
             warn("design '%s' needs %.0f %s but %d device(s) offer only "
                  "%.0f under threshold %.2f — add FPGAs",
-                 g.name().c_str(), need, toString(kind), f,
-                 budget[kind] * f, options.threshold);
+                 g.name().c_str(), need, toString(kind), avail,
+                 budget[kind] * avail, options.threshold);
             InterFpgaResult out;
             out.feasible = false;
             return out;
@@ -566,10 +621,10 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
         int total_ch = 0;
         for (const auto &v : g.vertices())
             total_ch += v.work.memChannels;
-        if (total_ch > options.channelsPerDevice * f) {
+        if (total_ch > options.channelsPerDevice * avail) {
             warn("design '%s' binds %d memory channels but %d device(s) "
-                 "expose only %d", g.name().c_str(), total_ch, f,
-                 options.channelsPerDevice * f);
+                 "expose only %d", g.name().c_str(), total_ch, avail,
+                 options.channelsPerDevice * avail);
             InterFpgaResult out;
             out.feasible = false;
             return out;
@@ -579,8 +634,16 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
     InterFpgaResult out;
     Rng rng(options.seed);
 
-    if (f == 1) {
-        out.partition.deviceOf.assign(g.numVertices(), 0);
+    if (avail == 1) {
+        // Exactly one usable device: everything lives there.
+        DeviceId only = 0;
+        for (int d = 0; d < f; ++d) {
+            if (options.allowed(d)) {
+                only = d;
+                break;
+            }
+        }
+        out.partition.deviceOf.assign(g.numVertices(), only);
         out.coarseVertices = g.numVertices();
         out.ilpOptimal = true;
     } else if (!options.useIlp) {
@@ -598,11 +661,35 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
                     options.channelsPerDevice / 2, rng);
         out.coarseVertices = coarse.graph.numVertices();
 
+        // Project warm-start hints onto the coarse graph: each coarse
+        // vertex takes the most common hint among its members (ties
+        // broken toward the lowest device id, for determinism).
+        InterFpgaOptions copt = options;
+        if (!options.hint.empty()) {
+            copt.hint.assign(coarse.graph.numVertices(), -1);
+            for (int cv = 0; cv < coarse.graph.numVertices(); ++cv) {
+                std::vector<int> votes(f, 0);
+                for (VertexId v : coarse.members[cv]) {
+                    const DeviceId h = options.hint[v];
+                    if (h >= 0 && h < f && options.allowed(h))
+                        ++votes[h];
+                }
+                int best = -1;
+                for (int d = 0; d < f; ++d) {
+                    if (votes[d] > 0 &&
+                        (best < 0 || votes[d] > votes[best])) {
+                        best = d;
+                    }
+                }
+                copt.hint[cv] = best;
+            }
+        }
+
         DevicePartition warm = greedyAssign(coarse.graph, cluster,
-                                            options);
+                                            copt);
         bool optimal = false;
         ilp::Solution sol =
-            solveAssignmentIlp(coarse.graph, cluster, options, warm,
+            solveAssignmentIlp(coarse.graph, cluster, copt, warm,
                                &optimal, &out.solverStats);
         DevicePartition coarse_part;
         if (sol.hasSolution()) {

@@ -59,6 +59,50 @@ struct InterFpgaOptions
     bool useIlp = true;
     /** RNG seed for coarsening tie-breaks. */
     std::uint64_t seed = 1;
+    /**
+     * Per-device availability mask (empty = every device usable).
+     * A failed device keeps its id — eq. 3/4 distances are still
+     * evaluated over the cabled topology — but may host no task.
+     * This is how replan() excludes dead FPGAs after a fault.
+     */
+    std::vector<char> deviceAllowed;
+    /**
+     * Warm-start hint: the previous device of each vertex (-1 = no
+     * hint; empty = no hints at all). The greedy seed biases toward
+     * hinted devices, and that seed warm-starts the coarse ILP — so a
+     * replan keeps surviving placements wherever they remain feasible
+     * instead of reshuffling the whole cluster.
+     */
+    std::vector<DeviceId> hint;
+    /**
+     * Migration penalty added to the eq. 2 objective (in the same
+     * width-bits x distance units) for every hinted vertex placed off
+     * its hint. Models the real cost of re-routing a live task after
+     * a failure: the solver moves a survivor only when the
+     * communication saving exceeds this. Ignored when hint is empty.
+     */
+    double hintWeight = 64.0;
+
+    /** True if device @p d may host tasks under deviceAllowed. */
+    bool
+    allowed(DeviceId d) const
+    {
+        return deviceAllowed.empty() ||
+               (d < static_cast<int>(deviceAllowed.size()) &&
+                deviceAllowed[d]);
+    }
+
+    /** Usable devices among @p numDevices. */
+    int
+    numAllowed(int numDevices) const
+    {
+        if (deviceAllowed.empty())
+            return numDevices;
+        int count = 0;
+        for (int d = 0; d < numDevices; ++d)
+            count += allowed(d) ? 1 : 0;
+        return count;
+    }
     /** Branch-and-bound limits for the coarse ILP. The defaults trade
      *  proven optimality for bounded runtime: the greedy warm start
      *  guarantees an incumbent and FM refinement polishes it, so a

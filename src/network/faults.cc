@@ -1,0 +1,223 @@
+#include "network/faults.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace tapacs
+{
+
+namespace
+{
+
+/** SplitMix64 finalizer — the same mixer Rng seeds with. */
+std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Pure hash of one draw's identity to a uniform double in [0, 1). */
+double
+drawU01(std::uint64_t seed, DeviceId a, DeviceId b,
+        std::uint64_t messageId, int attempt, std::uint32_t stream)
+{
+    const DeviceId lo = std::min(a, b), hi = std::max(a, b);
+    std::uint64_t h = mix64(seed);
+    h = mix64(h ^ (static_cast<std::uint64_t>(lo) << 32 |
+                   static_cast<std::uint32_t>(hi)));
+    h = mix64(h ^ messageId);
+    h = mix64(h ^ (static_cast<std::uint64_t>(stream) << 32 |
+                   static_cast<std::uint32_t>(attempt)));
+    // 53 high bits -> [0, 1), matching Rng::uniformReal's construction.
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+const char *
+toString(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::DegradeLink: return "degrade-link";
+      case FaultKind::JitterLink: return "jitter-link";
+      case FaultKind::DropLink: return "drop-link";
+      case FaultKind::FlapLink: return "flap-link";
+      case FaultKind::KillDevice: return "kill-device";
+    }
+    return "?";
+}
+
+FaultPlan &
+FaultPlan::degradeLink(DeviceId a, DeviceId b, Seconds from,
+                       double factor, Seconds until)
+{
+    if (factor <= 0.0 || factor > 1.0)
+        fatal("degradeLink: bandwidth factor must be in (0, 1], got %g",
+              factor);
+    events_.push_back(
+        {FaultKind::DegradeLink, a, b, from, until, factor});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::jitterLink(DeviceId a, DeviceId b, Seconds from,
+                      Seconds maxJitter, Seconds until)
+{
+    if (maxJitter < 0.0)
+        fatal("jitterLink: maxJitter must be >= 0, got %g", maxJitter);
+    events_.push_back(
+        {FaultKind::JitterLink, a, b, from, until, maxJitter});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::dropLink(DeviceId a, DeviceId b, Seconds from,
+                    double probability, Seconds until)
+{
+    if (probability < 0.0 || probability >= 1.0)
+        fatal("dropLink: probability must be in [0, 1), got %g",
+              probability);
+    events_.push_back(
+        {FaultKind::DropLink, a, b, from, until, probability});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::flapLink(DeviceId a, DeviceId b, Seconds downAt, Seconds upAt)
+{
+    if (!(upAt > downAt))
+        fatal("flapLink: upAt (%g) must be after downAt (%g)", upAt,
+              downAt);
+    events_.push_back({FaultKind::FlapLink, a, b, downAt, upAt, 0.0});
+    return *this;
+}
+
+FaultPlan &
+FaultPlan::killDevice(DeviceId d, Seconds at)
+{
+    events_.push_back({FaultKind::KillDevice, d, -1, at, kFaultForever,
+                       0.0});
+    return *this;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan, int numDevices)
+    : seed_(plan.seed()), numDevices_(numDevices)
+{
+    tapacs_assert(numDevices > 0);
+    deathTime_.assign(numDevices, kFaultForever);
+    for (const FaultEvent &e : plan.events()) {
+        if (e.kind == FaultKind::KillDevice) {
+            if (e.a < 0 || e.a >= numDevices)
+                fatal("killDevice: device %d outside cluster of %d",
+                      e.a, numDevices);
+            deathTime_[e.a] = std::min(deathTime_[e.a], e.at);
+            continue;
+        }
+        if (e.a < 0 || e.a >= numDevices || e.b < 0 ||
+            e.b >= numDevices || e.a == e.b) {
+            fatal("%s: bad link (%d, %d) in cluster of %d",
+                  toString(e.kind), e.a, e.b, numDevices);
+        }
+        FaultEvent norm = e;
+        norm.a = std::min(e.a, e.b);
+        norm.b = std::max(e.a, e.b);
+        if (norm.kind == FaultKind::FlapLink)
+            ++flapCount_;
+        linkEvents_.push_back(norm);
+    }
+}
+
+Seconds
+FaultInjector::deviceDeathTime(DeviceId d) const
+{
+    tapacs_assert(d >= 0 && d < numDevices_);
+    return deathTime_[d];
+}
+
+bool
+FaultInjector::deviceDead(DeviceId d, Seconds t) const
+{
+    return t >= deviceDeathTime(d);
+}
+
+std::vector<DeviceId>
+FaultInjector::scheduledDeaths() const
+{
+    std::vector<DeviceId> out;
+    for (DeviceId d = 0; d < numDevices_; ++d) {
+        if (std::isfinite(deathTime_[d]))
+            out.push_back(d);
+    }
+    return out;
+}
+
+LinkCondition
+FaultInjector::linkAt(DeviceId a, DeviceId b, Seconds t) const
+{
+    tapacs_assert(a >= 0 && a < numDevices_ && b >= 0 &&
+                  b < numDevices_);
+    LinkCondition cond;
+    if (deviceDead(a, t) || deviceDead(b, t)) {
+        cond.up = false;
+        cond.upAt = kFaultForever;
+        return cond;
+    }
+    const DeviceId lo = std::min(a, b), hi = std::max(a, b);
+    for (const FaultEvent &e : linkEvents_) {
+        if (e.a != lo || e.b != hi || t < e.at || t >= e.until)
+            continue;
+        switch (e.kind) {
+          case FaultKind::DegradeLink:
+            cond.bandwidthFactor =
+                std::min(cond.bandwidthFactor, e.magnitude);
+            break;
+          case FaultKind::JitterLink:
+            cond.maxJitter = std::max(cond.maxJitter, e.magnitude);
+            break;
+          case FaultKind::DropLink:
+            cond.dropProbability =
+                std::max(cond.dropProbability, e.magnitude);
+            break;
+          case FaultKind::FlapLink:
+            cond.up = false;
+            cond.upAt = std::max(cond.upAt, e.until);
+            break;
+          case FaultKind::KillDevice:
+            break; // handled via deathTime_
+        }
+    }
+    // A device death scheduled before a flap clears caps the recovery.
+    if (!cond.up) {
+        const Seconds death = std::min(deviceDeathTime(a),
+                                       deviceDeathTime(b));
+        if (death <= cond.upAt)
+            cond.upAt = kFaultForever;
+    }
+    return cond;
+}
+
+bool
+FaultInjector::dropsMessage(DeviceId a, DeviceId b,
+                            std::uint64_t messageId, int attempt,
+                            double probability) const
+{
+    if (probability <= 0.0)
+        return false;
+    return drawU01(seed_, a, b, messageId, attempt, /*stream=*/1) <
+           probability;
+}
+
+double
+FaultInjector::uniformDraw(DeviceId a, DeviceId b,
+                           std::uint64_t messageId, int attempt,
+                           std::uint32_t stream) const
+{
+    return drawU01(seed_, a, b, messageId, attempt, stream);
+}
+
+} // namespace tapacs

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Deterministic fault injection for the inter-FPGA network.
+ *
+ * TAPA-CS assumes healthy AlveoLink links (paper section 4.2 step 4);
+ * a cluster serving real traffic must survive degraded and dead ones.
+ * A FaultPlan is a seeded schedule of link and device failures; a
+ * FaultInjector answers, for any (link, time) pair, what condition the
+ * link is in and, via pure hash-based draws, whether a given message
+ * attempt is dropped and how much jitter it sees. Every draw is a
+ * function of (seed, link, message, attempt) only — never of
+ * wall-clock time, iteration order or thread count — so a fault
+ * scenario replays bit-identically and doubles as a regression test.
+ *
+ * Supported fault classes:
+ *  - degrade: link bandwidth scaled by a factor in (0, 1];
+ *  - jitter: per-message extra latency uniform in [0, maxJitter);
+ *  - drop: per-attempt message loss with fixed probability;
+ *  - flap: link fully down during [downAt, upAt);
+ *  - kill: a device dead from a scheduled time onward (all its links
+ *    stay down forever and its tasks stop firing).
+ */
+
+#ifndef TAPACS_NETWORK_FAULTS_HH
+#define TAPACS_NETWORK_FAULTS_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/units.hh"
+#include "network/topology.hh"
+
+namespace tapacs
+{
+
+/** Sentinel end time for faults that never clear. */
+constexpr Seconds kFaultForever = std::numeric_limits<double>::infinity();
+
+/** Kinds of injectable faults. */
+enum class FaultKind
+{
+    DegradeLink, ///< bandwidth scaled by magnitude in (0, 1]
+    JitterLink,  ///< extra latency uniform in [0, magnitude)
+    DropLink,    ///< per-attempt drop probability = magnitude
+    FlapLink,    ///< link down during [at, until)
+    KillDevice,  ///< device a dead from `at` onward
+};
+
+const char *toString(FaultKind kind);
+
+/** One scheduled fault. Link endpoints are unordered. */
+struct FaultEvent
+{
+    FaultKind kind = FaultKind::DegradeLink;
+    DeviceId a = -1;             ///< link endpoint / victim device
+    DeviceId b = -1;             ///< other endpoint (-1 for KillDevice)
+    Seconds at = 0.0;            ///< fault onset
+    Seconds until = kFaultForever; ///< fault end (exclusive)
+    double magnitude = 0.0;      ///< kind-specific (see FaultKind)
+};
+
+/**
+ * A seeded, scripted schedule of faults. Builder-style: chain the
+ * mutators, hand the plan to the simulator via SimOptions::faults.
+ */
+class FaultPlan
+{
+  public:
+    explicit FaultPlan(std::uint64_t seed = 1) : seed_(seed) {}
+
+    /** Scale the (a,b) link bandwidth by @p factor in (0, 1]. */
+    FaultPlan &degradeLink(DeviceId a, DeviceId b, Seconds from,
+                           double factor, Seconds until = kFaultForever);
+
+    /** Add uniform [0, maxJitter) latency per message on (a,b). */
+    FaultPlan &jitterLink(DeviceId a, DeviceId b, Seconds from,
+                          Seconds maxJitter,
+                          Seconds until = kFaultForever);
+
+    /** Drop each transmission attempt on (a,b) with probability p. */
+    FaultPlan &dropLink(DeviceId a, DeviceId b, Seconds from,
+                        double probability,
+                        Seconds until = kFaultForever);
+
+    /** Take the (a,b) link fully down during [downAt, upAt). */
+    FaultPlan &flapLink(DeviceId a, DeviceId b, Seconds downAt,
+                        Seconds upAt);
+
+    /** Kill device @p d at time @p at; it never recovers. */
+    FaultPlan &killDevice(DeviceId d, Seconds at);
+
+    std::uint64_t seed() const { return seed_; }
+    const std::vector<FaultEvent> &events() const { return events_; }
+    bool empty() const { return events_.empty(); }
+
+  private:
+    std::uint64_t seed_;
+    std::vector<FaultEvent> events_;
+};
+
+/** Condition of one link at one instant. */
+struct LinkCondition
+{
+    /** False while the link is down (flap window or dead endpoint). */
+    bool up = true;
+    /** When a downed link recovers; kFaultForever if it never does. */
+    Seconds upAt = 0.0;
+    /** Bandwidth scale in (0, 1]; 1.0 = healthy. */
+    double bandwidthFactor = 1.0;
+    /** Upper bound of the per-message uniform jitter. */
+    Seconds maxJitter = 0.0;
+    /** Per-attempt drop probability. */
+    double dropProbability = 0.0;
+};
+
+/**
+ * Compiled, queryable view of a FaultPlan. Stateless after
+ * construction: every query is a pure function, safe to call from any
+ * thread and in any order.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan &plan, int numDevices);
+
+    int numDevices() const { return numDevices_; }
+
+    /** Time device @p d dies; kFaultForever if it never does. */
+    Seconds deviceDeathTime(DeviceId d) const;
+
+    /** True if device @p d is dead at time @p t. */
+    bool deviceDead(DeviceId d, Seconds t) const;
+
+    /** Devices whose death time is finite (will die at some point). */
+    std::vector<DeviceId> scheduledDeaths() const;
+
+    /**
+     * Link condition of (a, b) at time @p t. Folds in endpoint
+     * deaths: a link with a dead endpoint is down with upAt =
+     * kFaultForever. Overlapping faults combine conservatively
+     * (min bandwidth factor, max jitter, max drop probability).
+     */
+    LinkCondition linkAt(DeviceId a, DeviceId b, Seconds t) const;
+
+    /**
+     * Deterministic drop draw for one transmission attempt: true with
+     * probability @p probability, as a pure function of (seed, link,
+     * message, attempt).
+     */
+    bool dropsMessage(DeviceId a, DeviceId b, std::uint64_t messageId,
+                      int attempt, double probability) const;
+
+    /** Deterministic uniform [0, 1) draw for per-message latency
+     *  jitter and backoff spreading (same purity guarantee). */
+    double uniformDraw(DeviceId a, DeviceId b, std::uint64_t messageId,
+                       int attempt, std::uint32_t stream) const;
+
+    /** Number of scheduled flap windows in the plan. */
+    int flapCount() const { return flapCount_; }
+
+  private:
+    std::uint64_t seed_;
+    int numDevices_;
+    int flapCount_ = 0;
+    std::vector<Seconds> deathTime_;      // per device
+    std::vector<FaultEvent> linkEvents_;  // normalized a <= b
+};
+
+} // namespace tapacs
+
+#endif // TAPACS_NETWORK_FAULTS_HH

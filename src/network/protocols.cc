@@ -1,5 +1,11 @@
 #include "network/protocols.hh"
 
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
 namespace tapacs
 {
 
@@ -41,6 +47,93 @@ findCommProtocol(const std::string &name)
             return &p;
     }
     return nullptr;
+}
+
+ReliableTransport::ReliableTransport(ReliableTransportConfig config,
+                                     const FaultInjector *injector)
+    : config_(std::move(config)), injector_(injector)
+{
+    if (config_.maxRetries < 0)
+        fatal("ReliableTransport: maxRetries must be >= 0, got %d",
+              config_.maxRetries);
+    if (config_.ackTimeout < 0.0 || config_.backoffBase < 0.0 ||
+        config_.backoffCap < config_.backoffBase) {
+        fatal("ReliableTransport: bad timing config (timeout %g, "
+              "backoff %g..%g)", config_.ackTimeout,
+              config_.backoffBase, config_.backoffCap);
+    }
+}
+
+TransferOutcome
+ReliableTransport::send(DeviceId a, DeviceId b, std::uint64_t messageId,
+                        Seconds earliest, Seconds occupancy,
+                        Seconds flightLatency, const AcquireFn &acquire)
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    TransferOutcome out;
+    Seconds t = earliest;
+
+    for (int attempt = 0; attempt <= config_.maxRetries; ++attempt) {
+        LinkCondition cond;
+        if (injector_) {
+            cond = injector_->linkAt(a, b, t);
+            if (!cond.up) {
+                ++totalLinkDownWaits_;
+                reg.counter("tapacs.net.link_flaps").add(1);
+                if (!std::isfinite(cond.upAt))
+                    break; // endpoint dead: undeliverable
+                out.linkDownWaitSeconds += cond.upAt - t;
+                t = cond.upAt;
+                cond = injector_->linkAt(a, b, t);
+                if (!cond.up)
+                    break; // recovered straight into a dead window
+            }
+        }
+
+        Seconds duration = occupancy / cond.bandwidthFactor;
+        if (injector_ && cond.maxJitter > 0.0) {
+            duration += cond.maxJitter *
+                        injector_->uniformDraw(a, b, messageId, attempt,
+                                               /*stream=*/2);
+        }
+        const Seconds done = acquire(t, duration);
+        out.attempts = attempt + 1;
+
+        const bool dropped =
+            injector_ && cond.dropProbability > 0.0 &&
+            injector_->dropsMessage(a, b, messageId, attempt,
+                                    cond.dropProbability);
+        if (!dropped) {
+            out.delivered = true;
+            out.finishTime = done + flightLatency;
+            break;
+        }
+
+        // Loss detected by ack timeout; back off before retrying.
+        ++out.timeouts;
+        Seconds backoff = config_.backoffBase *
+                          std::pow(2.0, std::min(attempt, 30));
+        backoff = std::min(backoff, config_.backoffCap);
+        if (config_.backoffJitterFrac > 0.0 && injector_) {
+            backoff *= 1.0 + config_.backoffJitterFrac *
+                                 injector_->uniformDraw(a, b, messageId,
+                                                        attempt,
+                                                        /*stream=*/3);
+        }
+        out.backoffSeconds += backoff;
+        t = done + config_.ackTimeout + backoff;
+        ++out.retries;
+    }
+
+    totalRetries_ += out.retries;
+    totalTimeouts_ += out.timeouts;
+    if (out.retries > 0)
+        reg.counter("tapacs.net.retries").add(out.retries);
+    if (out.timeouts > 0)
+        reg.counter("tapacs.net.timeouts").add(out.timeouts);
+    if (!out.delivered)
+        ++totalUndelivered_;
+    return out;
 }
 
 } // namespace tapacs

@@ -255,4 +255,25 @@ MetricsRegistry::clear()
         h->reset();
 }
 
+void
+MetricsRegistry::resetPrefix(const std::string &prefix)
+{
+    const auto matches = [&prefix](const std::string &name) {
+        return name.compare(0, prefix.size(), prefix) == 0;
+    };
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto &[name, c] : counters_) {
+        if (matches(name))
+            c->reset();
+    }
+    for (const auto &[name, g] : gauges_) {
+        if (matches(name))
+            g->reset();
+    }
+    for (const auto &[name, h] : histograms_) {
+        if (matches(name))
+            h->reset();
+    }
+}
+
 } // namespace tapacs::obs

@@ -157,6 +157,15 @@ class MetricsRegistry
     /** Reset every metric to zero (for tests). Handles stay valid. */
     void clear();
 
+    /**
+     * Reset to zero every metric whose name starts with @p prefix.
+     * Handles stay valid. Used by the simulator to drop stale
+     * `tapacs.sim.*` values before a new run's export: without it a
+     * resource touched by run A but idle in run B would keep
+     * reporting A's numbers.
+     */
+    void resetPrefix(const std::string &prefix);
+
   private:
     mutable std::mutex mu_;
     std::map<std::string, std::unique_ptr<Counter>> counters_;

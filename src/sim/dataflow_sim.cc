@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <optional>
 #include <queue>
 
 #include "common/logging.hh"
@@ -97,8 +98,21 @@ simulate(const TaskGraph &g, const Cluster &cluster,
     out.taskFinish.assign(n, 0.0);
     out.deviceComputeBusy.assign(cluster.numDevices(), 0.0);
     out.deviceTaskCount.assign(cluster.numDevices(), 0);
+    out.edgeComm.assign(g.numEdges(), EdgeCommStats{});
     for (VertexId v = 0; v < n; ++v)
         ++out.deviceTaskCount[partition.deviceOf[v]];
+
+    // Fault injection: compile the plan once; the transport carries
+    // the retry policy and serializes attempts on the real ports.
+    std::optional<FaultInjector> injector;
+    std::optional<ReliableTransport> transport;
+    if (options.faults != nullptr && !options.faults->empty()) {
+        injector.emplace(*options.faults, cluster.numDevices());
+        transport.emplace(options.transport, &*injector);
+        out.deadDevices = injector->scheduledDeaths();
+        if (options.exportMetrics)
+            obs::MetricsRegistry::global().resetPrefix("tapacs.net.");
+    }
 
     const MemorySystem &mem = cluster.device().memory();
 
@@ -176,6 +190,11 @@ simulate(const TaskGraph &g, const Cluster &cluster,
         const Hertz fmax = deviceFmax[dev];
         const auto &ins = g.inEdges(v);
 
+        // A killed device fires nothing from its death time onward;
+        // blocks already in flight (started earlier) complete.
+        if (injector && injector->deviceDead(dev, now))
+            return;
+
         while (fired[v] < w.numBlocks) {
             // All inputs must hold a token.
             bool ready = true;
@@ -238,10 +257,37 @@ simulate(const TaskGraph &g, const Cluster &cluster,
                         cluster.localIndex(dev), cluster.localIndex(dd));
                     const Seconds occ = std::max(
                         0.0, link.transferTime(bytes) - link.baseLatency());
+                    const Seconds flight = hops * link.baseLatency() +
+                                           (hops - 1) * occ;
                     Server &port = netPort[{dev, dd}];
-                    const Seconds sent = port.acquire(write_done, occ);
-                    arrival = sent + hops * link.baseLatency() +
-                              (hops - 1) * occ;
+                    if (transport) {
+                        EdgeCommStats &ec = out.edgeComm[e];
+                        const std::uint64_t mid =
+                            static_cast<std::uint64_t>(e) << 32 |
+                            static_cast<std::uint32_t>(ec.messages);
+                        ++ec.messages;
+                        const TransferOutcome tr = transport->send(
+                            dev, dd, mid, write_done, occ, flight,
+                            [&port](Seconds s, Seconds d) {
+                                return port.acquire(s, d);
+                            });
+                        ec.retries += tr.retries;
+                        ec.timeouts += tr.timeouts;
+                        ec.backoffSeconds += tr.backoffSeconds;
+                        ec.linkDownWaitSeconds += tr.linkDownWaitSeconds;
+                        if (!tr.delivered) {
+                            // The token dies with the link; only the
+                            // FIFOs crossing it stall.
+                            ++ec.undelivered;
+                            out.stats.incr("net.undelivered");
+                            continue;
+                        }
+                        arrival = tr.finishTime;
+                    } else {
+                        const Seconds sent =
+                            port.acquire(write_done, occ);
+                        arrival = sent + flight;
+                    }
                     out.interDeviceBytes += bytes;
                     out.stats.incr("net.intra.transfers");
                 } else {
@@ -258,7 +304,30 @@ simulate(const TaskGraph &g, const Cluster &cluster,
                     const Seconds occ = host.transferTime(bytes) +
                                         inode.transferTime(bytes) +
                                         host.transferTime(bytes);
-                    arrival = pipe.acquire(write_done, occ);
+                    if (transport) {
+                        EdgeCommStats &ec = out.edgeComm[e];
+                        const std::uint64_t mid =
+                            static_cast<std::uint64_t>(e) << 32 |
+                            static_cast<std::uint32_t>(ec.messages);
+                        ++ec.messages;
+                        const TransferOutcome tr = transport->send(
+                            dev, dd, mid, write_done, occ, 0.0,
+                            [&pipe](Seconds s, Seconds d) {
+                                return pipe.acquire(s, d);
+                            });
+                        ec.retries += tr.retries;
+                        ec.timeouts += tr.timeouts;
+                        ec.backoffSeconds += tr.backoffSeconds;
+                        ec.linkDownWaitSeconds += tr.linkDownWaitSeconds;
+                        if (!tr.delivered) {
+                            ++ec.undelivered;
+                            out.stats.incr("net.undelivered");
+                            continue;
+                        }
+                        arrival = tr.finishTime;
+                    } else {
+                        arrival = pipe.acquire(write_done, occ);
+                    }
                     out.interDeviceBytes += bytes;
                     out.stats.incr("net.inter.transfers");
                 }
@@ -299,9 +368,16 @@ simulate(const TaskGraph &g, const Cluster &cluster,
         fireBlocks(edge.dst, ev.time);
     }
 
-    // Every task must have completed all its blocks.
+    // Every task must have completed all its blocks. Under fault
+    // injection an incomplete run is the *expected* graceful outcome
+    // (killed devices, severed FIFOs) and is reported, not fatal.
+    out.firedBlocks = fired;
     for (VertexId v = 0; v < n; ++v) {
         if (fired[v] != g.vertex(v).work.numBlocks) {
+            if (injector) {
+                out.completed = false;
+                continue;
+            }
             fatal("simulate: task '%s' fired %d of %d blocks — "
                   "insufficient upstream tokens (graph is not "
                   "rate-consistent)",
@@ -329,8 +405,21 @@ simulate(const TaskGraph &g, const Cluster &cluster,
             hbm_busy += s.busyTime();
     }
     out.stats.set("hbm.busy_seconds", hbm_busy);
+    if (transport) {
+        out.stats.set("net.retries",
+                      static_cast<double>(transport->totalRetries()));
+        out.stats.set("net.timeouts",
+                      static_cast<double>(transport->totalTimeouts()));
+        out.stats.set(
+            "net.link_down_waits",
+            static_cast<double>(transport->totalLinkDownWaits()));
+    }
 
     if (options.exportMetrics) {
+        // Drop stale per-resource gauges from any earlier run: a
+        // server idle this run would otherwise keep reporting the
+        // previous run's busy/wait/request numbers.
+        obs::MetricsRegistry::global().resetPrefix("tapacs.sim.");
         for (DeviceId d = 0; d < cluster.numDevices(); ++d) {
             for (int c = 0; c < mem.channels; ++c) {
                 exportServerMetrics(strprintf("hbm.d%d.ch%d", d, c),

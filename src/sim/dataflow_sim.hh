@@ -32,6 +32,8 @@
 #include "common/stats.hh"
 #include "floorplan/hbm_binding.hh"
 #include "floorplan/partition.hh"
+#include "network/faults.hh"
+#include "network/protocols.hh"
 #include "pipeline/pipelining.hh"
 
 namespace tapacs::sim
@@ -48,9 +50,40 @@ struct SimOptions
      * Export per-resource utilization (busy time, queueing delay,
      * request count for every HBM channel, task datapath and network
      * path) into obs::MetricsRegistry::global() as gauges named
-     * `tapacs.sim.<resource>.<field>` when the run completes.
+     * `tapacs.sim.<resource>.<field>` when the run completes. Stale
+     * `tapacs.sim.*` values from earlier runs are reset first so the
+     * registry always describes the latest run only.
      */
     bool exportMetrics = true;
+    /**
+     * Scripted fault schedule to inject (borrowed; must outlive the
+     * call). Null or empty = healthy network, byte-identical to the
+     * pre-fault model. With faults present, cross-device transfers
+     * run over the reliable transport, tasks on killed devices stop
+     * firing, and undeliverable tokens stall only the FIFOs crossing
+     * the failed link — the sim always terminates and reports the
+     * damage in SimResult::edgeComm instead of hanging.
+     */
+    const FaultPlan *faults = nullptr;
+    /** Retry policy used when faults are injected. */
+    ReliableTransportConfig transport;
+};
+
+/** Per-edge reliability accounting (cross-device edges only). */
+struct EdgeCommStats
+{
+    /** Tokens handed to the transport on this edge. */
+    int messages = 0;
+    /** Retransmissions across all messages. */
+    int retries = 0;
+    /** Losses detected by ack timeout. */
+    int timeouts = 0;
+    /** Tokens that never arrived (dead device / retries exhausted). */
+    int undelivered = 0;
+    /** Total sender backoff time. */
+    Seconds backoffSeconds = 0.0;
+    /** Total time parked waiting for a downed link. */
+    Seconds linkDownWaitSeconds = 0.0;
 };
 
 /** One block's journey through a task (timeline entry). */
@@ -83,6 +116,22 @@ struct SimResult
     StatRegistry stats;
     /** Per-block firing timeline (only when recordTimeline is set). */
     std::vector<FiringRecord> timeline;
+
+    /**
+     * True when every task fired all its blocks. Only ever false
+     * under fault injection (a healthy rate-inconsistent graph is a
+     * fatal error instead): killed devices and dead links leave
+     * downstream blocks unfired, recorded in firedBlocks.
+     */
+    bool completed = true;
+    /** Blocks each task actually fired (== work.numBlocks when
+     *  completed). */
+    std::vector<int> firedBlocks;
+    /** Devices the fault plan killed (death scheduled at any time). */
+    std::vector<DeviceId> deadDevices;
+    /** Per-edge retry/backoff accounting, indexed by EdgeId; all-zero
+     *  for same-device edges and for runs without faults. */
+    std::vector<EdgeCommStats> edgeComm;
 
     /** Mean fraction of the makespan the device's tasks spent
      *  computing (1.0 = every PE busy the whole run; low values =

@@ -12,6 +12,8 @@
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "compiler/compiler.hh"
+#include "network/faults.hh"
+#include "network/protocols.hh"
 #include "sim/dataflow_sim.hh"
 
 namespace tapacs
@@ -151,6 +153,157 @@ TEST(FullFlowDeterminism, SameSeedSameResult)
                                       b.pipeline, b.deviceFmax);
     EXPECT_DOUBLE_EQ(ra.makespan, rb.makespan);
 }
+
+/**
+ * Random pipeline over a random topology, simulated directly (no
+ * compile): every task is hand-placed so the fault machinery sees a
+ * controlled mix of same-device, same-node and cross-node FIFOs.
+ */
+struct RandomFaultCase
+{
+    TaskGraph g{"p"};
+    Cluster cluster;
+    DevicePartition part;
+    std::vector<EdgeId> edges;
+    int blocks = 0;
+
+    explicit RandomFaultCase(std::uint64_t seed) : cluster(makePaperTestbed(2))
+    {
+        Rng rng(seed);
+        // 8 exercises the cross-node (host-staged) transfer path.
+        const int sizes[] = {2, 3, 4, 8};
+        const int fpgas = sizes[rng.uniformInt(0, 3)];
+        cluster = makePaperTestbed(fpgas);
+        blocks = 2 << rng.uniformInt(0, 3);
+        const int tasks = 3 + static_cast<int>(rng.uniformInt(0, 5));
+        VertexId prev = -1;
+        for (int i = 0; i < tasks; ++i) {
+            WorkProfile w;
+            w.computeOps = rng.uniformReal(1e5, 3e7);
+            w.opsPerCycle = 1.0;
+            w.numBlocks = blocks;
+            Vertex v;
+            v.name = strprintf("t%d", i);
+            v.work = w;
+            const VertexId id = g.addVertex(v);
+            part.deviceOf.push_back(
+                static_cast<DeviceId>(rng.uniformInt(0, fpgas - 1)));
+            if (prev >= 0) {
+                edges.push_back(g.addEdge(prev, id, 64,
+                                          rng.uniformReal(1e4, 1e6)));
+            }
+            prev = id;
+        }
+    }
+
+    sim::SimResult
+    run(const FaultPlan *faults)
+    {
+        HbmBinding binding;
+        binding.channelsOf.assign(g.numVertices(), {});
+        binding.usersPerChannel.assign(
+            cluster.numDevices(),
+            std::vector<int>(cluster.device().memory().channels, 0));
+        PipelinePlan plan;
+        plan.edges.assign(g.numEdges(), EdgePipelining{});
+        plan.addedAreaPerDevice.assign(cluster.numDevices(),
+                                       ResourceVector{});
+        std::vector<Hertz> fmax(cluster.numDevices(), 300.0e6);
+        sim::SimOptions opt;
+        opt.faults = faults;
+        opt.exportMetrics = false;
+        return sim::simulate(g, cluster, part, binding, plan, fmax, opt);
+    }
+};
+
+class TransportProperty : public ::testing::TestWithParam<int>
+{
+};
+
+/**
+ * Property: on 200 random task graphs x cluster topologies, with
+ * every link dropping each attempt with probability <= 5 %, the
+ * reliable transport delivers every token exactly once (the run
+ * completes, nothing is undelivered, nothing is double-counted), and
+ * an identical seed replays to the bit.
+ */
+TEST_P(TransportProperty, ExactlyOnceUnderLossAndDeterministic)
+{
+    const int seed = GetParam();
+    RandomFaultCase c(5000 + seed);
+    Rng rng(9000 + seed);
+    FaultPlan plan(17 + seed);
+    // Drop on every device pair the chain can cross.
+    for (DeviceId a = 0; a < c.cluster.numDevices(); ++a) {
+        for (DeviceId b = a + 1; b < c.cluster.numDevices(); ++b)
+            plan.dropLink(a, b, 0.0, rng.uniformReal(0.005, 0.05));
+    }
+
+    RandomFaultCase c2(5000 + seed);
+    const sim::SimResult r1 = c.run(&plan);
+    const sim::SimResult r2 = c2.run(&plan);
+
+    ASSERT_TRUE(r1.completed) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(r1.stats.get("net.undelivered"), 0.0);
+    for (EdgeId e : c.edges) {
+        const sim::EdgeCommStats &ec = r1.edgeComm[e];
+        const bool crosses = c.part.deviceOf[c.g.edge(e).src] !=
+                             c.part.deviceOf[c.g.edge(e).dst];
+        // Exactly one transport message per block, none lost; edges
+        // that never cross a device see no transport traffic at all.
+        EXPECT_EQ(ec.messages, crosses ? c.blocks : 0);
+        EXPECT_EQ(ec.undelivered, 0);
+        EXPECT_EQ(ec.retries, ec.timeouts);
+    }
+    for (VertexId v = 0; v < c.g.numVertices(); ++v)
+        EXPECT_EQ(r1.firedBlocks[v], c.blocks);
+
+    // Bit-identical replay of the same seed.
+    EXPECT_DOUBLE_EQ(r1.makespan, r2.makespan);
+    for (EdgeId e : c.edges) {
+        EXPECT_EQ(r1.edgeComm[e].retries, r2.edgeComm[e].retries);
+        EXPECT_DOUBLE_EQ(r1.edgeComm[e].backoffSeconds,
+                         r2.edgeComm[e].backoffSeconds);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLossyNetworks, TransportProperty,
+                         ::testing::Range(0, 200));
+
+class LatencyMonotonicity : public ::testing::TestWithParam<int>
+{
+};
+
+/**
+ * Property: injected latency only hurts. Scaling every link's jitter
+ * bound never decreases the simulated makespan — each message's
+ * jitter draw is independent of the bound, so a larger bound delays
+ * every event pointwise and the timed event graph is monotone.
+ */
+TEST_P(LatencyMonotonicity, MakespanNonDecreasingInJitter)
+{
+    const int seed = GetParam();
+    Seconds prev = -1.0;
+    for (const double scale : {0.0, 1.0, 3.0}) {
+        RandomFaultCase c(6000 + seed);
+        FaultPlan plan(23 + seed);
+        for (DeviceId a = 0; a < c.cluster.numDevices(); ++a) {
+            for (DeviceId b = a + 1; b < c.cluster.numDevices(); ++b) {
+                // Always scheduled so the fault path stays active at
+                // scale 0 (identical machinery, zero magnitude).
+                plan.jitterLink(a, b, 0.0, scale * 2e-4);
+            }
+        }
+        const sim::SimResult r = c.run(&plan);
+        ASSERT_TRUE(r.completed);
+        EXPECT_GE(r.makespan, prev) << "seed " << seed << " scale "
+                                    << scale;
+        prev = r.makespan;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomJitteredNetworks, LatencyMonotonicity,
+                         ::testing::Range(0, 10));
 
 TEST(FullFlowMonotonicity, MoreFpgasNeverHurtFrequency)
 {

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * tapacs-golden — golden-file regression harness.
+ *
+ * Compiles and simulates the four paper workloads (stencil, PageRank,
+ * KNN, CNN) in small 2-FPGA configurations, each twice: once healthy
+ * and once under a fixed seeded fault scenario (degraded + lossy +
+ * flapping link). The result is serialized as canonical JSON — fixed
+ * key order, %.12g doubles, no wall-clock fields — so the bytes are a
+ * stable function of the model alone and any behavioural drift in the
+ * compiler, simulator or fault machinery shows up as a diff.
+ *
+ * Usage:
+ *   tapacs-golden --write DIR    regenerate DIR/<workload>.json
+ *   tapacs-golden --check DIR    compare against DIR/<workload>.json;
+ *                                exit 1 on any mismatch
+ *
+ * Regenerate with tools/update_goldens.sh after an intentional model
+ * change, and review the diff like any other code change.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/cnn.hh"
+#include "apps/knn.hh"
+#include "apps/pagerank.hh"
+#include "apps/stencil.hh"
+#include "common/logging.hh"
+#include "compiler/compiler.hh"
+#include "network/faults.hh"
+#include "sim/dataflow_sim.hh"
+#include "sim/report.hh"
+
+using namespace tapacs;
+
+namespace
+{
+
+struct Workload
+{
+    std::string name;
+    apps::AppDesign design;
+};
+
+std::vector<Workload>
+paperWorkloads()
+{
+    std::vector<Workload> out;
+    out.push_back({"stencil",
+                   apps::buildStencil(apps::StencilConfig::scaled(64, 2))});
+    out.push_back(
+        {"pagerank",
+         apps::buildPageRank(apps::PageRankConfig::scaled(
+             apps::pagerankDatasets()[0], 2))});
+    out.push_back(
+        {"knn", apps::buildKnn(apps::KnnConfig::scaled(1'000'000, 2, 2))});
+    apps::CnnConfig cnn;
+    cnn.rows = 4;
+    cnn.cols = 4;
+    cnn.numFpgas = 2;
+    cnn.batch = 4;
+    cnn.numBlocks = 8;
+    out.push_back({"cnn", apps::buildCnn(cnn)});
+    return out;
+}
+
+/** The scripted scenario every workload is replayed under. */
+FaultPlan
+goldenFaultPlan()
+{
+    FaultPlan plan(20260807);
+    plan.degradeLink(0, 1, 0.0, 0.5)
+        .dropLink(0, 1, 0.0, 0.02)
+        .flapLink(0, 1, 1e-3, 2e-3);
+    return plan;
+}
+
+std::string
+num(double v)
+{
+    return strprintf("%.12g", v);
+}
+
+void
+appendSimJson(std::ostringstream &js, const TaskGraph &g,
+              const sim::SimResult &run)
+{
+    js << "{\"makespan\":" << num(run.makespan)
+       << ",\"completed\":" << (run.completed ? "true" : "false")
+       << ",\"inter_device_bytes\":" << num(run.interDeviceBytes);
+    int messages = 0, retries = 0, timeouts = 0, undelivered = 0;
+    double backoff = 0.0, down_wait = 0.0;
+    for (const sim::EdgeCommStats &ec : run.edgeComm) {
+        messages += ec.messages;
+        retries += ec.retries;
+        timeouts += ec.timeouts;
+        undelivered += ec.undelivered;
+        backoff += ec.backoffSeconds;
+        down_wait += ec.linkDownWaitSeconds;
+    }
+    js << ",\"net_messages\":" << messages << ",\"net_retries\":" << retries
+       << ",\"net_timeouts\":" << timeouts
+       << ",\"net_undelivered\":" << undelivered
+       << ",\"net_backoff_seconds\":" << num(backoff)
+       << ",\"net_link_down_seconds\":" << num(down_wait);
+    js << ",\"fired_blocks\":[";
+    for (VertexId v = 0; v < g.numVertices(); ++v) {
+        if (v > 0)
+            js << ",";
+        js << (run.firedBlocks.empty() ? g.vertex(v).work.numBlocks
+                                       : run.firedBlocks[v]);
+    }
+    js << "]}";
+}
+
+/** Compile + healthy run + faulted run, rendered as canonical JSON. */
+std::string
+renderWorkload(Workload &w)
+{
+    Cluster cluster = makePaperTestbed(2);
+    CompileOptions opt;
+    opt.mode = CompileMode::TapaCs;
+    opt.numFpgas = 2;
+    const CompileResult r =
+        compileProgram(w.design.graph, w.design.tasks, cluster, opt);
+    if (!r.routable)
+        fatal("golden workload '%s' failed to compile: %s",
+              w.name.c_str(), r.failureReason.c_str());
+
+    const TaskGraph &g = w.design.graph;
+    std::ostringstream js;
+    js << "{\"workload\":\"" << w.name << "\""
+       << ",\"tasks\":" << g.numVertices() << ",\"fifos\":" << g.numEdges()
+       << ",\"fpgas\":" << opt.numFpgas
+       << ",\"fmax_hz\":" << num(r.fmax)
+       << ",\"cut_traffic_bytes\":" << num(r.cutTrafficBytes);
+    js << ",\"tasks_per_device\":[";
+    std::vector<int> perDev(cluster.numDevices(), 0);
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        ++perDev[r.partition.deviceOf[v]];
+    for (size_t d = 0; d < perDev.size(); ++d)
+        js << (d ? "," : "") << perDev[d];
+    js << "]";
+
+    sim::SimOptions sopt;
+    sopt.exportMetrics = false;
+    js << ",\"healthy\":";
+    const sim::SimResult healthy =
+        sim::simulate(g, cluster, r.partition, r.binding, r.pipeline,
+                      r.deviceFmax, sopt);
+    appendSimJson(js, g, healthy);
+
+    const FaultPlan plan = goldenFaultPlan();
+    sopt.faults = &plan;
+    js << ",\"faulted\":";
+    const sim::SimResult faulted =
+        sim::simulate(g, cluster, r.partition, r.binding, r.pipeline,
+                      r.deviceFmax, sopt);
+    appendSimJson(js, g, faulted);
+    js << "}\n";
+    return js.str();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s' — run tools/update_goldens.sh?",
+              path.c_str());
+    std::ostringstream body;
+    body << in.rdbuf();
+    return body.str();
+}
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(stderr, "usage: tapacs-golden --write|--check DIR\n");
+    std::exit(2);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc != 3)
+        usage();
+    const std::string mode = argv[1];
+    const std::string dir = argv[2];
+    if (mode != "--write" && mode != "--check")
+        usage();
+
+    int mismatches = 0;
+    for (Workload &w : paperWorkloads()) {
+        const std::string rendered = renderWorkload(w);
+        const std::string path = dir + "/" + w.name + ".json";
+        if (mode == "--write") {
+            std::ofstream out(path);
+            if (!out)
+                fatal("cannot write '%s'", path.c_str());
+            out << rendered;
+            std::printf("wrote %s\n", path.c_str());
+        } else {
+            const std::string golden = readFile(path);
+            if (golden == rendered) {
+                std::printf("ok      %s\n", w.name.c_str());
+            } else {
+                ++mismatches;
+                std::printf("MISMATCH %s\n  golden:  %s  current: %s",
+                            w.name.c_str(), golden.c_str(),
+                            rendered.c_str());
+            }
+        }
+    }
+    if (mismatches > 0) {
+        std::fprintf(stderr,
+                     "%d golden file(s) diverged; if the change is "
+                     "intentional, regenerate with "
+                     "tools/update_goldens.sh and review the diff\n",
+                     mismatches);
+        return 1;
+    }
+    return 0;
+}

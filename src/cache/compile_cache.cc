@@ -1,0 +1,538 @@
+#include "cache/compile_cache.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace tapacs::cache
+{
+
+namespace
+{
+
+/**
+ * Text entry writer. Numbers are space-separated tokens; doubles use
+ * the %a hex-float form, which strtod round-trips exactly — warm
+ * results must be bit-identical to cold ones, so no decimal rounding
+ * is allowed anywhere in an entry.
+ */
+class EntryWriter
+{
+  public:
+    void
+    tag(const char *t)
+    {
+        out_ += t;
+    }
+    void
+    i64(std::int64_t v)
+    {
+        out_ += strprintf(" %lld", (long long)v);
+    }
+    void
+    f64(double v)
+    {
+        out_ += strprintf(" %a", v);
+    }
+    void
+    str(const std::string &s)
+    {
+        i64(static_cast<std::int64_t>(s.size()));
+        out_ += ' ';
+        out_ += s;
+    }
+    void
+    vec(const ResourceVector &v)
+    {
+        for (int k = 0; k < kNumResourceKinds; ++k)
+            f64(v[static_cast<ResourceKind>(k)]);
+    }
+    std::string take() { return std::move(out_); }
+
+  private:
+    std::string out_;
+};
+
+/**
+ * Matching reader. Every accessor reports failure instead of
+ * throwing: a malformed entry (disk corruption, schema drift) must
+ * degrade to a cache miss, never to a crashed compile.
+ */
+class EntryReader
+{
+  public:
+    explicit EntryReader(const std::string &s) : s_(s) {}
+
+    bool
+    tag(const char *t)
+    {
+        const std::size_t n = std::strlen(t);
+        if (s_.compare(pos_, n, t) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    i64(std::int64_t *out)
+    {
+        if (!skipSpace())
+            return false;
+        char *end = nullptr;
+        const long long v = std::strtoll(s_.c_str() + pos_, &end, 10);
+        if (end == s_.c_str() + pos_)
+            return false;
+        pos_ = end - s_.c_str();
+        *out = v;
+        return true;
+    }
+
+    bool
+    f64(double *out)
+    {
+        if (!skipSpace())
+            return false;
+        char *end = nullptr;
+        const double v = std::strtod(s_.c_str() + pos_, &end);
+        if (end == s_.c_str() + pos_)
+            return false;
+        pos_ = end - s_.c_str();
+        *out = v;
+        return true;
+    }
+
+    bool
+    str(std::string *out)
+    {
+        std::int64_t n = 0;
+        if (!i64(&n) || n < 0 || pos_ + 1 + n > s_.size())
+            return false;
+        ++pos_; // the single separator space
+        out->assign(s_, pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    vec(ResourceVector *out)
+    {
+        for (int k = 0; k < kNumResourceKinds; ++k) {
+            double v;
+            if (!f64(&v))
+                return false;
+            (*out)[static_cast<ResourceKind>(k)] = v;
+        }
+        return true;
+    }
+
+    bool
+    boolean(bool *out)
+    {
+        std::int64_t v;
+        if (!i64(&v))
+            return false;
+        *out = v != 0;
+        return true;
+    }
+
+  private:
+    bool
+    skipSpace()
+    {
+        while (pos_ < s_.size() && s_[pos_] == ' ')
+            ++pos_;
+        return pos_ < s_.size();
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+void
+writeStats(EntryWriter &w, const ilp::SolverStats &s)
+{
+    w.i64(s.nodesExplored);
+    w.i64(s.lpSolves);
+    w.i64(s.lpIterations);
+    w.i64(s.incumbentUpdates);
+    w.f64(s.wallSeconds);
+    w.i64(s.provenOptimal ? 1 : 0);
+    w.i64(s.threadsUsed);
+}
+
+bool
+readStats(EntryReader &r, ilp::SolverStats *s)
+{
+    std::int64_t threads = 0;
+    const bool ok = r.i64(&s->nodesExplored) && r.i64(&s->lpSolves) &&
+                    r.i64(&s->lpIterations) &&
+                    r.i64(&s->incumbentUpdates) &&
+                    r.f64(&s->wallSeconds) && r.boolean(&s->provenOptimal) &&
+                    r.i64(&threads);
+    s->threadsUsed = static_cast<int>(threads);
+    return ok;
+}
+
+/** Fold the solver knobs that can change which solution comes back
+ *  (thread count included: the parallel search may return a different
+ *  tied-optimal point than the serial one). */
+void
+mixSolver(KeyBuilder &b, const ilp::SolverOptions &s)
+{
+    b.i64(s.maxNodes)
+        .f64(s.timeLimitSeconds)
+        .f64(s.intTol)
+        .f64(s.relativeGap)
+        .i64(s.numThreads)
+        .f64(s.lp.tol)
+        .i64(s.lp.maxIterations);
+}
+
+/** Per-vertex values reordered into canonical rank order. */
+template <typename T>
+std::vector<T>
+byRank(const GraphFingerprint &fp, const std::vector<T> &byVertex)
+{
+    std::vector<T> out(byVertex.size());
+    for (std::size_t v = 0; v < byVertex.size(); ++v)
+        out[fp.rankOf[v]] = byVertex[v];
+    return out;
+}
+
+/** Inverse mapping: canonical-rank values back onto vertex ids. */
+template <typename T>
+std::vector<T>
+fromRank(const GraphFingerprint &fp, const std::vector<T> &ranked)
+{
+    std::vector<T> out(ranked.size());
+    for (std::size_t v = 0; v < ranked.size(); ++v)
+        out[v] = ranked[fp.rankOf[v]];
+    return out;
+}
+
+} // namespace
+
+CacheKey
+hlsTaskKey(const hls::TaskIr &task)
+{
+    KeyBuilder b;
+    b.i64(kSchemaVersion).str("hls").str(task.name);
+    b.i64(task.fp32AddUnits)
+        .i64(task.fp32MulUnits)
+        .i64(task.fp32CmpUnits)
+        .i64(task.intAluUnits)
+        .i64(task.fsmStates)
+        .f64(static_cast<double>(task.localBufferBytes))
+        .i64(task.preferUram ? 1 : 0)
+        .i64(task.bufferBanks);
+    b.i64(static_cast<std::int64_t>(task.streamPorts.size()));
+    for (const auto &p : task.streamPorts)
+        b.str(p.name).i64(p.widthBits).i64(p.isInput ? 1 : 0);
+    b.i64(static_cast<std::int64_t>(task.memPorts.size()));
+    for (const auto &p : task.memPorts)
+        b.str(p.name).i64(p.widthBits).f64(
+            static_cast<double>(p.burstBufferBytes));
+    return b.build();
+}
+
+CacheKey
+interKey(const GraphFingerprint &fp, const Cluster &cluster, int numFpgas,
+         const InterFpgaOptions &options)
+{
+    KeyBuilder b;
+    b.i64(kSchemaVersion).str("inter");
+    b.key(fp.structural).key(clusterKey(cluster)).i64(numFpgas);
+    b.f64(options.threshold)
+        .vec(options.reserved)
+        .i64(options.coarseLimit)
+        .f64(options.balanceSlack)
+        .i64(options.channelsPerDevice)
+        .i64(options.useIlp ? 1 : 0)
+        .i64(static_cast<std::int64_t>(options.seed));
+    b.i64(static_cast<std::int64_t>(options.deviceAllowed.size()));
+    for (char a : options.deviceAllowed)
+        b.i64(a ? 1 : 0);
+    // Hints are runtime state, not content; a hinted solve is keyed
+    // apart (it can land on a different tied-optimal point) and the
+    // compiler never stores hinted results under exact keys anyway.
+    b.i64(static_cast<std::int64_t>(options.hint.size()));
+    if (!options.hint.empty()) {
+        for (DeviceId d : options.hint)
+            b.i64(d);
+        b.f64(options.hintWeight);
+    }
+    mixSolver(b, options.solver);
+    return b.build();
+}
+
+CacheKey
+interFamilyKey(const GraphFingerprint &fp, const Cluster &cluster,
+               int numFpgas)
+{
+    KeyBuilder b;
+    b.i64(kSchemaVersion).str("family");
+    b.key(fp.structural).key(clusterKey(cluster)).i64(numFpgas);
+    return b.build();
+}
+
+CacheKey
+intraKey(const GraphFingerprint &fp, const Cluster &cluster,
+         const DevicePartition &partition, const IntraFpgaOptions &options,
+         const HbmBindingOptions &bindOptions)
+{
+    KeyBuilder b;
+    b.i64(kSchemaVersion).str("intra");
+    b.key(fp.structural).key(clusterKey(cluster));
+    // The level-1 assignment is part of the level-2 problem statement;
+    // fold it in canonical order so relabeled twins share entries.
+    const std::vector<DeviceId> ranked = byRank(fp, partition.deviceOf);
+    b.i64(static_cast<std::int64_t>(ranked.size()));
+    for (DeviceId d : ranked)
+        b.i64(d);
+    b.f64(options.threshold)
+        .vec(options.reserved)
+        .i64(options.useIlp ? 1 : 0)
+        .f64(options.memAttractionWidth)
+        .i64(static_cast<std::int64_t>(options.seed));
+    mixSolver(b, options.solver);
+    // IntraFpgaOptions::numThreads and HbmBindingOptions::numThreads
+    // are deliberately absent: both passes document thread-count
+    // invariance, which is what lets a parallel batch compile share
+    // entries with a serial one.
+    b.i64(bindOptions.sweep ? 1 : 0);
+    return b.build();
+}
+
+CompileCache &
+CompileCache::global()
+{
+    static CompileCache *cache = new CompileCache(CacheStore::global());
+    return *cache;
+}
+
+bool
+CompileCache::getHls(const CacheKey &key, hls::SynthesisResult *out)
+{
+    auto blob = store_.get(key);
+    if (!blob)
+        return false;
+    EntryReader r(*blob);
+    hls::SynthesisResult parsed;
+    std::int64_t fsm = 0, depth = 0;
+    if (!r.tag("hls1") || !r.str(&parsed.taskName) ||
+        !r.vec(&parsed.area) || !r.f64(&parsed.fmaxCeiling) ||
+        !r.i64(&fsm) || !r.i64(&depth))
+        return false;
+    parsed.fsmStates = static_cast<int>(fsm);
+    parsed.pipelineDepth = static_cast<int>(depth);
+    *out = std::move(parsed);
+    return true;
+}
+
+void
+CompileCache::putHls(const CacheKey &key, const hls::SynthesisResult &result)
+{
+    EntryWriter w;
+    w.tag("hls1");
+    w.str(result.taskName);
+    w.vec(result.area);
+    w.f64(result.fmaxCeiling);
+    w.i64(result.fsmStates);
+    w.i64(result.pipelineDepth);
+    store_.put(key, w.take());
+}
+
+bool
+CompileCache::getInter(const CacheKey &key, const GraphFingerprint &fp,
+                       InterFpgaResult *out)
+{
+    auto blob = store_.get(key);
+    if (!blob)
+        return false;
+    EntryReader r(*blob);
+    InterFpgaResult parsed;
+    std::int64_t nv = 0, coarse = 0;
+    if (!r.tag("inter1") || !r.i64(&nv) || !r.boolean(&parsed.feasible) ||
+        !r.f64(&parsed.cost) || !r.f64(&parsed.cutTrafficBytes) ||
+        !r.f64(&parsed.elapsedSeconds) || !r.boolean(&parsed.ilpOptimal) ||
+        !r.i64(&coarse) || !readStats(r, &parsed.solverStats))
+        return false;
+    parsed.coarseVertices = static_cast<int>(coarse);
+    // nv == 0 encodes an infeasible solve's empty partition.
+    if (nv != 0 && nv != fp.numVertices())
+        return false;
+    std::vector<DeviceId> ranked(nv);
+    for (std::int64_t i = 0; i < nv; ++i) {
+        std::int64_t d;
+        if (!r.i64(&d))
+            return false;
+        ranked[i] = static_cast<DeviceId>(d);
+    }
+    parsed.partition.deviceOf = fromRank(fp, ranked);
+    *out = std::move(parsed);
+    return true;
+}
+
+void
+CompileCache::putInter(const CacheKey &key, const GraphFingerprint &fp,
+                       const InterFpgaResult &result)
+{
+    if (!result.partition.deviceOf.empty() &&
+        static_cast<int>(result.partition.deviceOf.size()) !=
+            fp.numVertices()) {
+        warn("cache: inter-FPGA result size mismatch; not storing");
+        return;
+    }
+    EntryWriter w;
+    w.tag("inter1");
+    w.i64(static_cast<std::int64_t>(result.partition.deviceOf.size()));
+    w.i64(result.feasible ? 1 : 0);
+    w.f64(result.cost);
+    w.f64(result.cutTrafficBytes);
+    w.f64(result.elapsedSeconds);
+    w.i64(result.ilpOptimal ? 1 : 0);
+    w.i64(result.coarseVertices);
+    writeStats(w, result.solverStats);
+    for (DeviceId d : byRank(fp, result.partition.deviceOf))
+        w.i64(d);
+    store_.put(key, w.take());
+}
+
+bool
+CompileCache::getFamilyPartition(const CacheKey &key,
+                                 const GraphFingerprint &fp,
+                                 std::vector<DeviceId> *deviceOf)
+{
+    auto blob = store_.get(key);
+    if (!blob)
+        return false;
+    EntryReader r(*blob);
+    std::int64_t nv = 0;
+    if (!r.tag("fam1") || !r.i64(&nv) || nv != fp.numVertices())
+        return false;
+    std::vector<DeviceId> ranked(nv);
+    for (std::int64_t i = 0; i < nv; ++i) {
+        std::int64_t d;
+        if (!r.i64(&d))
+            return false;
+        ranked[i] = static_cast<DeviceId>(d);
+    }
+    *deviceOf = fromRank(fp, ranked);
+    return true;
+}
+
+void
+CompileCache::putFamilyPartition(const CacheKey &key,
+                                 const GraphFingerprint &fp,
+                                 const DevicePartition &partition)
+{
+    if (static_cast<int>(partition.deviceOf.size()) != fp.numVertices())
+        return;
+    EntryWriter w;
+    w.tag("fam1");
+    w.i64(static_cast<std::int64_t>(partition.deviceOf.size()));
+    for (DeviceId d : byRank(fp, partition.deviceOf))
+        w.i64(d);
+    store_.put(key, w.take());
+}
+
+bool
+CompileCache::getIntra(const CacheKey &key, const GraphFingerprint &fp,
+                       IntraPhaseResult *out)
+{
+    auto blob = store_.get(key);
+    if (!blob)
+        return false;
+    EntryReader r(*blob);
+    IntraPhaseResult parsed;
+    std::int64_t nv = 0;
+    if (!r.tag("intra1") || !r.i64(&nv) || nv != fp.numVertices() ||
+        !r.f64(&parsed.floorplan.cost) ||
+        !r.f64(&parsed.floorplan.elapsedSeconds) ||
+        !r.boolean(&parsed.floorplan.allIlpOptimal) ||
+        !readStats(r, &parsed.floorplan.solverStats))
+        return false;
+    std::vector<SlotCoord> rankedSlots(nv);
+    for (std::int64_t i = 0; i < nv; ++i) {
+        std::int64_t col, row;
+        if (!r.i64(&col) || !r.i64(&row))
+            return false;
+        rankedSlots[i].col = static_cast<int>(col);
+        rankedSlots[i].row = static_cast<int>(row);
+    }
+    parsed.floorplan.placement.slotOf = fromRank(fp, rankedSlots);
+    std::vector<std::vector<int>> rankedChannels(nv);
+    for (std::int64_t i = 0; i < nv; ++i) {
+        std::int64_t count = 0;
+        if (!r.i64(&count) || count < 0)
+            return false;
+        rankedChannels[i].resize(count);
+        for (std::int64_t c = 0; c < count; ++c) {
+            std::int64_t ch;
+            if (!r.i64(&ch))
+                return false;
+            rankedChannels[i][c] = static_cast<int>(ch);
+        }
+    }
+    parsed.binding.channelsOf = fromRank(fp, rankedChannels);
+    std::int64_t numDevices = 0;
+    if (!r.i64(&numDevices) || numDevices < 0)
+        return false;
+    parsed.binding.usersPerChannel.resize(numDevices);
+    for (std::int64_t d = 0; d < numDevices; ++d) {
+        std::int64_t count = 0;
+        if (!r.i64(&count) || count < 0)
+            return false;
+        parsed.binding.usersPerChannel[d].resize(count);
+        for (std::int64_t c = 0; c < count; ++c) {
+            std::int64_t users;
+            if (!r.i64(&users))
+                return false;
+            parsed.binding.usersPerChannel[d][c] =
+                static_cast<int>(users);
+        }
+    }
+    if (!r.f64(&parsed.binding.displacementCost))
+        return false;
+    *out = std::move(parsed);
+    return true;
+}
+
+void
+CompileCache::putIntra(const CacheKey &key, const GraphFingerprint &fp,
+                       const IntraPhaseResult &result)
+{
+    const int nv = fp.numVertices();
+    if (static_cast<int>(result.floorplan.placement.slotOf.size()) != nv ||
+        static_cast<int>(result.binding.channelsOf.size()) != nv) {
+        warn("cache: intra-FPGA result size mismatch; not storing");
+        return;
+    }
+    EntryWriter w;
+    w.tag("intra1");
+    w.i64(nv);
+    w.f64(result.floorplan.cost);
+    w.f64(result.floorplan.elapsedSeconds);
+    w.i64(result.floorplan.allIlpOptimal ? 1 : 0);
+    writeStats(w, result.floorplan.solverStats);
+    for (const SlotCoord &s : byRank(fp, result.floorplan.placement.slotOf)) {
+        w.i64(s.col);
+        w.i64(s.row);
+    }
+    for (const auto &channels : byRank(fp, result.binding.channelsOf)) {
+        w.i64(static_cast<std::int64_t>(channels.size()));
+        for (int c : channels)
+            w.i64(c);
+    }
+    w.i64(static_cast<std::int64_t>(result.binding.usersPerChannel.size()));
+    for (const auto &users : result.binding.usersPerChannel) {
+        w.i64(static_cast<std::int64_t>(users.size()));
+        for (int u : users)
+            w.i64(u);
+    }
+    w.f64(result.binding.displacementCost);
+    store_.put(key, w.take());
+}
+
+} // namespace tapacs::cache

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Typed memoization facade for the compile flow.
+ *
+ * Three artifact classes are cached, matching the solver-heavy phases
+ * of the seven-step flow (paper section 4.2):
+ *
+ *   phase 2  per-task HLS estimates        hlsTaskKey(TaskIr)
+ *   phase 3  level-1 inter-FPGA solutions  interKey(graph, cluster, opts)
+ *   phase 5  per-graph intra-FPGA place-   intraKey(graph, cluster,
+ *            ments + HBM bindings                   partition, opts)
+ *
+ * Keys fold in every cost-relevant input — canonical graph
+ * fingerprint, cluster content, thresholds, seeds, solver limits —
+ * and a schema version, but deliberately EXCLUDE the thread-count
+ * knobs: results are thread-count-invariant by construction (see
+ * IntraFpgaOptions::numThreads), so a 4-thread batch compile and a
+ * serial one address the same entries. An exact-key hit returns the
+ * stored artifact bit-for-bit; doubles are serialized as hex floats
+ * (%a), so the round trip is lossless.
+ *
+ * Per-vertex artifacts (device assignments, slot placements, channel
+ * lists) are stored in canonical vertex order and mapped through
+ * GraphFingerprint::rankOf on both store and load, which makes the
+ * entries label-free: an isomorphic relabeling of the same design
+ * addresses — and can reuse — the same entry.
+ *
+ * A fourth, deliberately approximate tier supports *near* matches:
+ * the family entry, keyed by graph + cluster alone, remembers the
+ * last known partition for a design regardless of options. On an
+ * exact level-1 miss the compiler can feed it back as warm-start
+ * hints through the InterFpgaOptions::hint / hintWeight path (the
+ * replan machinery), accelerating the solve for near-duplicate
+ * requests. Hinted solves are never stored under exact keys, so the
+ * exact tier stays history-independent.
+ */
+
+#ifndef TAPACS_CACHE_COMPILE_CACHE_HH
+#define TAPACS_CACHE_COMPILE_CACHE_HH
+
+#include "cache/key.hh"
+#include "cache/store.hh"
+#include "floorplan/hbm_binding.hh"
+#include "floorplan/inter_fpga.hh"
+#include "floorplan/intra_fpga.hh"
+#include "hls/estimator.hh"
+
+namespace tapacs::cache
+{
+
+/** Bumped whenever an entry format or key derivation changes, so
+ *  stale on-disk tiers miss instead of misparsing. */
+constexpr int kSchemaVersion = 1;
+
+/** Content key of one pre-synthesis task (includes the task name:
+ *  synthesis results are joined back onto vertices by name). */
+CacheKey hlsTaskKey(const hls::TaskIr &task);
+
+/** Exact key of a level-1 inter-FPGA solve. Excludes only
+ *  solver-irrelevant knobs (thread counts are *included* here, since
+ *  the parallel ILP may return a different tied-optimal point). */
+CacheKey interKey(const GraphFingerprint &fp, const Cluster &cluster,
+                  int numFpgas, const InterFpgaOptions &options);
+
+/** Approximate family key: graph + cluster + device count only. */
+CacheKey interFamilyKey(const GraphFingerprint &fp, const Cluster &cluster,
+                        int numFpgas);
+
+/** Exact key of a level-2 solve (+ HBM binding) given a level-1
+ *  partition. Thread-count knobs excluded (results invariant). */
+CacheKey intraKey(const GraphFingerprint &fp, const Cluster &cluster,
+                  const DevicePartition &partition,
+                  const IntraFpgaOptions &options,
+                  const HbmBindingOptions &bindOptions);
+
+/** The phase-5 artifact pair cached as one entry. */
+struct IntraPhaseResult
+{
+    IntraFpgaResult floorplan;
+    HbmBinding binding;
+};
+
+/**
+ * Typed get/put over a CacheStore. Thread-safe (the store is); a
+ * racing get/put of the same key is benign because entries are
+ * content-addressed — both writers carry identical bytes.
+ */
+class CompileCache
+{
+  public:
+    explicit CompileCache(CacheStore &store) : store_(store) {}
+
+    /** Facade over CacheStore::global() (TAPACS_CACHE_DIR et al.). */
+    static CompileCache &global();
+
+    bool getHls(const CacheKey &key, hls::SynthesisResult *out);
+    void putHls(const CacheKey &key, const hls::SynthesisResult &result);
+
+    bool getInter(const CacheKey &key, const GraphFingerprint &fp,
+                  InterFpgaResult *out);
+    void putInter(const CacheKey &key, const GraphFingerprint &fp,
+                  const InterFpgaResult &result);
+
+    /** Family tier: last known device assignment for this graph +
+     *  cluster, options-agnostic. deviceOf is indexed by vertex id of
+     *  the querying graph (mapped through fp). */
+    bool getFamilyPartition(const CacheKey &key, const GraphFingerprint &fp,
+                            std::vector<DeviceId> *deviceOf);
+    void putFamilyPartition(const CacheKey &key, const GraphFingerprint &fp,
+                            const DevicePartition &partition);
+
+    bool getIntra(const CacheKey &key, const GraphFingerprint &fp,
+                  IntraPhaseResult *out);
+    void putIntra(const CacheKey &key, const GraphFingerprint &fp,
+                  const IntraPhaseResult &result);
+
+    CacheStore &store() { return store_; }
+
+  private:
+    CacheStore &store_;
+};
+
+} // namespace tapacs::cache
+
+#endif // TAPACS_CACHE_COMPILE_CACHE_HH

@@ -1,0 +1,277 @@
+#include "cache/key.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "network/link.hh"
+#include "network/topology.hh"
+
+namespace tapacs::cache
+{
+
+namespace
+{
+
+/** Order-free combination of one neighborhood contribution. */
+std::uint64_t
+combine3(std::uint64_t a, std::uint64_t b, std::uint64_t salt)
+{
+    return mix64(a + 0x9e3779b97f4a7c15ull * b + salt);
+}
+
+std::uint64_t
+doubleBits(double v)
+{
+    if (v == 0.0)
+        v = 0.0; // canonicalize -0.0
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+/** Fold a 128-bit key into one 64-bit signature lane. */
+std::uint64_t
+fold(const CacheKey &k)
+{
+    return mix64(k.hi) ^ k.lo;
+}
+
+} // namespace
+
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+std::string
+CacheKey::hex() const
+{
+    return strprintf("%016llx%016llx", (unsigned long long)hi,
+                     (unsigned long long)lo);
+}
+
+KeyBuilder::KeyBuilder()
+    : a_(0x6a09e667f3bcc909ull), b_(0xbb67ae8584caa73bull), count_(0)
+{
+}
+
+KeyBuilder &
+KeyBuilder::raw(std::uint64_t bits)
+{
+    ++count_;
+    a_ = mix64(a_ ^ (bits + 0x2545f4914f6cdd1dull * count_));
+    b_ = mix64(b_ + (bits ^ 0x9e3779b97f4a7c15ull) + a_);
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::f64(double v)
+{
+    return raw(doubleBits(v));
+}
+
+KeyBuilder &
+KeyBuilder::str(const std::string &s)
+{
+    raw(s.size());
+    // 8 bytes per round, zero-padded tail.
+    for (std::size_t i = 0; i < s.size(); i += 8) {
+        std::uint64_t chunk = 0;
+        const std::size_t n = std::min<std::size_t>(8, s.size() - i);
+        std::memcpy(&chunk, s.data() + i, n);
+        raw(chunk);
+    }
+    return *this;
+}
+
+KeyBuilder &
+KeyBuilder::vec(const ResourceVector &v)
+{
+    for (int k = 0; k < kNumResourceKinds; ++k)
+        f64(v[static_cast<ResourceKind>(k)]);
+    return *this;
+}
+
+CacheKey
+KeyBuilder::build() const
+{
+    CacheKey out;
+    out.hi = mix64(a_ + 0x452821e638d01377ull * (count_ + 1));
+    out.lo = mix64(b_ ^ out.hi);
+    return out;
+}
+
+GraphFingerprint
+fingerprintGraph(const TaskGraph &g)
+{
+    const int nv = g.numVertices();
+    const int ne = g.numEdges();
+
+    // Per-vertex content signature: resource profile + work profile.
+    // Names are labels, not content, and stay out on purpose.
+    std::vector<std::uint64_t> sig(nv);
+    for (VertexId v = 0; v < nv; ++v) {
+        const Vertex &vx = g.vertex(v);
+        KeyBuilder b;
+        b.vec(vx.area)
+            .f64(vx.work.computeOps)
+            .f64(vx.work.opsPerCycle)
+            .f64(vx.work.memReadBytes)
+            .f64(vx.work.memWriteBytes)
+            .i64(vx.work.memPortWidthBits)
+            .i64(vx.work.memChannels)
+            .i64(vx.work.numBlocks);
+        sig[v] = fold(b.build());
+    }
+    const std::vector<std::uint64_t> sig0 = sig;
+
+    // Per-edge attribute signature.
+    std::vector<std::uint64_t> esig(ne);
+    for (EdgeId e = 0; e < ne; ++e) {
+        const Edge &ed = g.edge(e);
+        KeyBuilder b;
+        b.i64(ed.widthBits)
+            .i64(ed.depth)
+            .f64(ed.totalBytes)
+            .i64(ed.initialTokens);
+        esig[e] = fold(b.build());
+    }
+
+    // Weisfeiler-Leman refinement: each round folds the commutative
+    // image of a vertex's in- and out-neighborhood (edge attributes +
+    // neighbor signatures) into its own signature. Three rounds give
+    // every signature a radius-3 view — ample to separate the layered
+    // dataflow graphs this compiler sees.
+    constexpr int kRounds = 3;
+    constexpr std::uint64_t kInSalt = 0x71ee2a3145b9cd03ull;
+    constexpr std::uint64_t kOutSalt = 0xc4ceb9fe1a85ec53ull;
+    std::vector<std::uint64_t> next(nv);
+    for (int round = 0; round < kRounds; ++round) {
+        for (VertexId v = 0; v < nv; ++v) {
+            std::uint64_t in_sum = 0, in_xor = 0;
+            for (EdgeId e : g.inEdges(v)) {
+                const std::uint64_t h =
+                    combine3(esig[e], sig[g.edge(e).src], kInSalt);
+                in_sum += h;
+                in_xor ^= h;
+            }
+            std::uint64_t out_sum = 0, out_xor = 0;
+            for (EdgeId e : g.outEdges(v)) {
+                const std::uint64_t h =
+                    combine3(esig[e], sig[g.edge(e).dst], kOutSalt);
+                out_sum += h;
+                out_xor ^= h;
+            }
+            KeyBuilder b;
+            b.raw(sig[v])
+                .raw(in_sum)
+                .raw(in_xor)
+                .i64(static_cast<int>(g.inEdges(v).size()))
+                .raw(out_sum)
+                .raw(out_xor)
+                .i64(static_cast<int>(g.outEdges(v).size()));
+            next[v] = fold(b.build());
+        }
+        sig.swap(next);
+    }
+
+    // Order-independent folds: multisets of vertex signatures and of
+    // endpoint-contextualized edge signatures.
+    std::uint64_t vsum = 0, vxor = 0, vsq = 0;
+    for (VertexId v = 0; v < nv; ++v) {
+        vsum += sig[v];
+        vxor ^= sig[v];
+        vsq += sig[v] * sig[v];
+    }
+    std::uint64_t esum = 0, exor = 0, esq = 0;
+    for (EdgeId e = 0; e < ne; ++e) {
+        const Edge &ed = g.edge(e);
+        const std::uint64_t h =
+            combine3(esig[e] + sig[ed.src], sig[ed.dst], 0x243f6a8885a308d3ull);
+        esum += h;
+        exor ^= h;
+        esq += h * h;
+    }
+
+    GraphFingerprint out;
+    KeyBuilder b;
+    b.i64(nv).i64(ne).raw(vsum).raw(vxor).raw(vsq).raw(esum).raw(exor).raw(
+        esq);
+    out.structural = b.build();
+
+    // Canonical order: sort by refined signature, then initial
+    // signature, then degrees; original id only breaks WL-symmetric
+    // ties (interchangeable vertices).
+    std::vector<VertexId> order(nv);
+    for (VertexId v = 0; v < nv; ++v)
+        order[v] = v;
+    std::sort(order.begin(), order.end(), [&](VertexId x, VertexId y) {
+        if (sig[x] != sig[y])
+            return sig[x] < sig[y];
+        if (sig0[x] != sig0[y])
+            return sig0[x] < sig0[y];
+        const auto dx = g.inEdges(x).size() + g.outEdges(x).size();
+        const auto dy = g.inEdges(y).size() + g.outEdges(y).size();
+        if (dx != dy)
+            return dx < dy;
+        return x < y;
+    });
+    out.rankOf.assign(nv, 0);
+    for (int r = 0; r < nv; ++r)
+        out.rankOf[order[r]] = r;
+    return out;
+}
+
+namespace
+{
+
+void
+mixLink(KeyBuilder &b, const LinkModel &link)
+{
+    b.i64(static_cast<int>(link.kind()))
+        .f64(link.peakBandwidth())
+        .f64(link.baseLatency())
+        .f64(static_cast<double>(link.packetBytes()))
+        .f64(link.lambda());
+}
+
+} // namespace
+
+CacheKey
+clusterKey(const Cluster &cluster)
+{
+    const DeviceModel &dev = cluster.device();
+    KeyBuilder b;
+    b.str(dev.name())
+        .i64(dev.cols())
+        .i64(dev.rows())
+        .i64(dev.numDies())
+        .vec(dev.totalResources())
+        .i64(dev.memory().channels)
+        .f64(dev.memory().aggregateBandwidth)
+        .f64(static_cast<double>(dev.memory().capacity))
+        .i64(dev.memory().saturatingPortWidthBits)
+        .i64(dev.memoryRow())
+        .f64(dev.maxFrequency())
+        .f64(dev.onChipBandwidth())
+        .f64(static_cast<double>(dev.onChipCapacity()));
+    for (const Slot &s : dev.slots()) {
+        b.i64(s.coord.col).i64(s.coord.row).i64(s.die).vec(s.capacity).i64(
+            s.exposesMemory ? 1 : 0);
+    }
+    b.i64(static_cast<int>(cluster.nodeTopology().kind()))
+        .i64(cluster.nodeTopology().numDevices())
+        .i64(cluster.numNodes());
+    mixLink(b, cluster.intraLink());
+    mixLink(b, cluster.hostLink());
+    mixLink(b, cluster.interNodeLink());
+    return b.build();
+}
+
+} // namespace tapacs::cache

@@ -1,0 +1,219 @@
+#include "cache/store.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace tapacs::cache
+{
+
+namespace
+{
+
+obs::MetricsRegistry &
+reg()
+{
+    return obs::MetricsRegistry::global();
+}
+
+std::uint64_t
+envBytes(const char *name, std::uint64_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (value == nullptr || *value == '\0')
+        return fallback;
+    char *end = nullptr;
+    const unsigned long long parsed = std::strtoull(value, &end, 10);
+    if (end == value || parsed == 0) {
+        warn("ignoring %s='%s' (expected a positive byte count)", name,
+             value);
+        return fallback;
+    }
+    return parsed;
+}
+
+} // namespace
+
+CacheStore::CacheStore(Options options)
+    : options_(std::move(options)),
+      hits_(reg().counter("tapacs.cache.hits")),
+      diskHits_(reg().counter("tapacs.cache.disk_hits")),
+      misses_(reg().counter("tapacs.cache.misses")),
+      evictions_(reg().counter("tapacs.cache.evictions")),
+      bytesGauge_(reg().gauge("tapacs.cache.bytes"))
+{
+    if (options_.shards < 1)
+        options_.shards = 1;
+    shards_.reserve(options_.shards);
+    for (int i = 0; i < options_.shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    if (!options_.directory.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options_.directory, ec);
+        if (ec) {
+            warn("cache: cannot create '%s' (%s); disk tier disabled",
+                 options_.directory.c_str(), ec.message().c_str());
+            options_.directory.clear();
+        }
+    }
+}
+
+CacheStore &
+CacheStore::global()
+{
+    static CacheStore *store = [] {
+        Options opt;
+        opt.capacityBytes =
+            envBytes("TAPACS_CACHE_BYTES", opt.capacityBytes);
+        if (const char *dir = std::getenv("TAPACS_CACHE_DIR"))
+            opt.directory = dir;
+        return new CacheStore(std::move(opt));
+    }();
+    return *store;
+}
+
+CacheStore::Shard &
+CacheStore::shardFor(const CacheKey &key)
+{
+    return *shards_[CacheKeyHash{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const std::string>
+CacheStore::get(const CacheKey &key)
+{
+    Shard &shard = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        auto it = shard.map.find(key);
+        if (it != shard.map.end()) {
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            hits_.add();
+            return it->second->second;
+        }
+    }
+    if (!options_.directory.empty()) {
+        std::string blob;
+        if (readDisk(key, &blob)) {
+            auto value =
+                std::make_shared<const std::string>(std::move(blob));
+            {
+                std::lock_guard<std::mutex> lock(shard.mu);
+                insertLocked(shard, key, value);
+            }
+            hits_.add();
+            diskHits_.add();
+            return value;
+        }
+    }
+    misses_.add();
+    return nullptr;
+}
+
+void
+CacheStore::put(const CacheKey &key, std::string value)
+{
+    auto blob = std::make_shared<const std::string>(std::move(value));
+    Shard &shard = shardFor(key);
+    {
+        std::lock_guard<std::mutex> lock(shard.mu);
+        insertLocked(shard, key, blob);
+    }
+    if (!options_.directory.empty())
+        writeDisk(key, *blob);
+}
+
+void
+CacheStore::insertLocked(Shard &shard, const CacheKey &key,
+                         std::shared_ptr<const std::string> value)
+{
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+        shard.bytes -= it->second->second->size();
+        totalBytes_.fetch_sub(it->second->second->size(),
+                              std::memory_order_relaxed);
+        shard.lru.erase(it->second);
+        shard.map.erase(it);
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.map[key] = shard.lru.begin();
+    const std::uint64_t added = shard.lru.front().second->size();
+    shard.bytes += added;
+    totalBytes_.fetch_add(added, std::memory_order_relaxed);
+
+    const std::uint64_t budget =
+        std::max<std::uint64_t>(1, options_.capacityBytes /
+                                       shards_.size());
+    while (shard.bytes > budget && shard.lru.size() > 1) {
+        const auto &victim = shard.lru.back();
+        const std::uint64_t freed = victim.second->size();
+        shard.map.erase(victim.first);
+        shard.lru.pop_back();
+        shard.bytes -= freed;
+        totalBytes_.fetch_sub(freed, std::memory_order_relaxed);
+        evictions_.add();
+    }
+    bytesGauge_.set(static_cast<double>(
+        totalBytes_.load(std::memory_order_relaxed)));
+}
+
+void
+CacheStore::clear()
+{
+    for (auto &shard : shards_) {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        totalBytes_.fetch_sub(shard->bytes, std::memory_order_relaxed);
+        shard->bytes = 0;
+        shard->lru.clear();
+        shard->map.clear();
+    }
+    bytesGauge_.set(static_cast<double>(
+        totalBytes_.load(std::memory_order_relaxed)));
+}
+
+std::string
+CacheStore::diskPath(const CacheKey &key) const
+{
+    return options_.directory + "/" + key.hex() + ".tce";
+}
+
+bool
+CacheStore::readDisk(const CacheKey &key, std::string *out) const
+{
+    std::ifstream in(diskPath(key), std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream body;
+    body << in.rdbuf();
+    *out = body.str();
+    return !out->empty();
+}
+
+void
+CacheStore::writeDisk(const CacheKey &key, const std::string &value) const
+{
+    // Unique temp name + rename keeps concurrent writers from ever
+    // exposing a torn entry; last writer wins with identical bytes.
+    static std::atomic<std::uint64_t> counter{0};
+    const std::string tmp =
+        strprintf("%s/.tmp.%s.%llu", options_.directory.c_str(),
+                  key.hex().c_str(),
+                  (unsigned long long)counter.fetch_add(1));
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("cache: cannot write '%s'", tmp.c_str());
+            return;
+        }
+        out << value;
+    }
+    if (std::rename(tmp.c_str(), diskPath(key).c_str()) != 0) {
+        warn("cache: cannot publish '%s'", diskPath(key).c_str());
+        std::remove(tmp.c_str());
+    }
+}
+
+} // namespace tapacs::cache

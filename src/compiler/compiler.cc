@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "cache/compile_cache.hh"
 #include "common/logging.hh"
 #include "network/link.hh"
+#include "obs/metrics.hh"
 #include "obs/trace.hh"
 
 namespace tapacs
@@ -207,6 +209,15 @@ compile(const TaskGraph &g, const Cluster &cluster,
                  out.reservedPerDevice[ResourceKind::Lut]);
     }
 
+    // Fingerprint the request once when a cache is attached; both
+    // solver phases key off the same canonical graph + cluster view.
+    cache::CompileCache *cc = options.cache;
+    cache::GraphFingerprint fp;
+    if (cc != nullptr) {
+        obs::TraceSpan span("compile", "cache.fingerprint");
+        fp = cache::fingerprintGraph(g);
+    }
+
     // ---- Step 3: inter-FPGA floorplanning (eq. 1-3) -----------------
     if (multi) {
         obs::TraceSpan span("compile", "phase3.inter_fpga");
@@ -215,7 +226,43 @@ compile(const TaskGraph &g, const Cluster &cluster,
         inter.reserved = out.reservedPerDevice;
         inter.seed = options.seed;
         inter.channelsPerDevice = dev.memory().channels;
-        InterFpgaResult l1 = floorplanInterFpga(g, cluster, inter);
+        cache::CacheKey l1_key;
+        cache::CacheKey fam_key;
+        bool l1_cached = false;
+        InterFpgaResult l1;
+        if (cc != nullptr) {
+            // The exact key is derived before any warm-start hint is
+            // injected, so it always names the *request*, never the
+            // history that happened to be in the cache.
+            l1_key = cache::interKey(fp, cluster, fpgas, inter);
+            fam_key = cache::interFamilyKey(fp, cluster, fpgas);
+            l1_cached = cc->getInter(l1_key, fp, &l1);
+        }
+        if (!l1_cached) {
+            bool hinted = !inter.hint.empty();
+            if (cc != nullptr && options.cacheWarmStart && !hinted) {
+                std::vector<DeviceId> family;
+                if (cc->getFamilyPartition(fam_key, fp, &family)) {
+                    inter.hint = std::move(family);
+                    hinted = true;
+                    obs::MetricsRegistry::global()
+                        .counter("tapacs.cache.warm_starts")
+                        .add();
+                }
+            }
+            l1 = floorplanInterFpga(g, cluster, inter);
+            if (cc != nullptr) {
+                // A warm-started solve may sit on a different
+                // tied-optimal point than a cold one; keep it out of
+                // the exact tier so cached answers never depend on
+                // cache history. (Hints passed in by the caller are
+                // part of the key, so those results are exact.)
+                if (!hinted || !options.inter.hint.empty())
+                    cc->putInter(l1_key, fp, l1);
+                if (l1.feasible)
+                    cc->putFamilyPartition(fam_key, fp, l1.partition);
+            }
+        }
         span.arg("devices", static_cast<std::int64_t>(fpgas))
             .arg("cost", l1.cost)
             .arg("cut_traffic_bytes", l1.cutTrafficBytes)
@@ -254,6 +301,7 @@ compile(const TaskGraph &g, const Cluster &cluster,
         obs::TraceSpan span("compile", "phase5.intra_fpga");
         if (options.mode == CompileMode::VitisBaseline) {
             out.placement = naivePackedPlacement(g, dev, out.partition);
+            out.binding = naiveBinding(g, cluster, out.partition);
         } else {
             IntraFpgaOptions intra = options.intra;
             intra.threshold = options.threshold;
@@ -261,27 +309,40 @@ compile(const TaskGraph &g, const Cluster &cluster,
             intra.seed = options.seed;
             if (intra.numThreads == 0)
                 intra.numThreads = options.numThreads;
-            IntraFpgaResult l2 =
-                floorplanIntraFpga(g, cluster, out.partition, intra);
-            out.placement = l2.placement;
-            out.l2Seconds = l2.elapsedSeconds;
-            out.l2SolverStats = l2.solverStats;
-            span.arg("cost", l2.cost)
-                .arg("solver_nodes", l2.solverStats.nodesExplored)
-                .arg("lp_iterations", l2.solverStats.lpIterations)
-                .arg("seconds", l2.elapsedSeconds);
+            // HBM channel binding is the memory half of step 5: the
+            // paper binds channels from the same placement the
+            // intra-FPGA ILP produced — so placement and binding are
+            // cached together as one phase-5 artifact.
+            HbmBindingOptions bind_opt;
+            bind_opt.numThreads = options.numThreads;
+            cache::CacheKey l2_key;
+            cache::IntraPhaseResult phase5;
+            bool l2_cached = false;
+            if (cc != nullptr) {
+                l2_key = cache::intraKey(fp, cluster, out.partition,
+                                         intra, bind_opt);
+                l2_cached = cc->getIntra(l2_key, fp, &phase5);
+            }
+            if (!l2_cached) {
+                phase5.floorplan =
+                    floorplanIntraFpga(g, cluster, out.partition, intra);
+                phase5.binding =
+                    bindHbmChannels(g, cluster, out.partition,
+                                    phase5.floorplan.placement, bind_opt);
+                if (cc != nullptr)
+                    cc->putIntra(l2_key, fp, phase5);
+            }
+            out.placement = phase5.floorplan.placement;
+            out.binding = phase5.binding;
+            out.l2Seconds = phase5.floorplan.elapsedSeconds;
+            out.l2SolverStats = phase5.floorplan.solverStats;
+            span.arg("cost", phase5.floorplan.cost)
+                .arg("solver_nodes",
+                     phase5.floorplan.solverStats.nodesExplored)
+                .arg("lp_iterations",
+                     phase5.floorplan.solverStats.lpIterations)
+                .arg("seconds", phase5.floorplan.elapsedSeconds);
         }
-
-        // HBM channel binding is the memory half of step 5: the paper
-        // binds channels from the same placement the intra-FPGA ILP
-        // produced.
-        HbmBindingOptions bind_opt;
-        bind_opt.numThreads = options.numThreads;
-        out.binding =
-            options.mode == CompileMode::VitisBaseline
-                ? naiveBinding(g, cluster, out.partition)
-                : bindHbmChannels(g, cluster, out.partition,
-                                  out.placement, bind_opt);
     }
 
     // ---- Step 6: interconnect pipelining ----------------------------
@@ -393,7 +454,42 @@ compileProgram(TaskGraph &g, const std::vector<hls::TaskIr> &tasks,
     std::vector<Hertz> ceilings(g.numVertices(), 340.0e6);
     {
         obs::TraceSpan span("compile", "phase2.synthesis");
-        hls::ProgramSynthesis synth = hls::synthesizeAll(tasks);
+        hls::ProgramSynthesis synth;
+        cache::CompileCache *cc = options.cache;
+        if (cc == nullptr) {
+            synth = hls::synthesizeAll(tasks);
+        } else {
+            // Per-task memoization: only the tasks whose content keys
+            // miss go through the (parallel) estimator; the assembled
+            // result keeps the original task order, so applySynthesis
+            // and the ceiling join below behave exactly as cold.
+            std::vector<cache::CacheKey> keys(tasks.size());
+            std::vector<char> have(tasks.size(), 0);
+            std::vector<hls::SynthesisResult> hit(tasks.size());
+            std::vector<hls::TaskIr> missing;
+            for (std::size_t i = 0; i < tasks.size(); ++i) {
+                keys[i] = cache::hlsTaskKey(tasks[i]);
+                have[i] = cc->getHls(keys[i], &hit[i]) ? 1 : 0;
+                if (!have[i])
+                    missing.push_back(tasks[i]);
+            }
+            hls::ProgramSynthesis fresh;
+            if (!missing.empty())
+                fresh = hls::synthesizeAll(missing);
+            synth.elapsedSeconds = fresh.elapsedSeconds;
+            synth.threadsUsed = fresh.threadsUsed;
+            synth.tasks.reserve(tasks.size());
+            std::size_t m = 0;
+            for (std::size_t i = 0; i < tasks.size(); ++i) {
+                if (have[i]) {
+                    synth.tasks.push_back(std::move(hit[i]));
+                } else {
+                    cc->putHls(keys[i], fresh.tasks[m]);
+                    synth.tasks.push_back(std::move(fresh.tasks[m]));
+                    ++m;
+                }
+            }
+        }
         hls::applySynthesis(g, synth);
         for (VertexId v = 0; v < g.numVertices(); ++v) {
             const hls::SynthesisResult *r = synth.find(g.vertex(v).name);

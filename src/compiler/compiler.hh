@@ -36,6 +36,11 @@
 namespace tapacs
 {
 
+namespace cache
+{
+class CompileCache;
+} // namespace cache
+
 /** Which flow to run. */
 enum class CompileMode
 {
@@ -90,6 +95,28 @@ struct CompileOptions
      * the ILP-solver and floorplanner worker spans.
      */
     std::string trace;
+    /**
+     * Content-addressed memoization of the solver-heavy phases: the
+     * per-task HLS estimates (step 2), the inter-FPGA ILP solution
+     * (step 3) and the intra-FPGA placement + HBM binding (step 5).
+     * nullptr (the default) disables caching entirely; pass
+     * &cache::CompileCache::global() for the process-wide store
+     * (TAPACS_CACHE_DIR enables its disk tier) or a local instance in
+     * tests. An exact-key hit returns the stored artifact
+     * bit-for-bit, so a cached compile is byte-identical to a cold
+     * one.
+     */
+    cache::CompileCache *cache = nullptr;
+    /**
+     * On an exact inter-FPGA miss, feed the family entry (same graph
+     * + cluster, any options) to the level-1 solver as warm-start
+     * hints via InterFpgaOptions::hint. Faster on near-duplicate
+     * requests, but the hint penalty can steer the solver to a
+     * different tied-optimal partition than a cold solve — so results
+     * of hinted solves are never stored under exact keys, and this
+     * stays opt-in.
+     */
+    bool cacheWarmStart = false;
 
     InterFpgaOptions inter;
     IntraFpgaOptions intra;

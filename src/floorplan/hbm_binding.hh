@@ -36,6 +36,14 @@ struct HbmBinding
     /** Sum over tasks of |task column - channel column| (binding
      *  displacement; lower is better routed). */
     double displacementCost = 0.0;
+
+    bool operator==(const HbmBinding &o) const
+    {
+        return channelsOf == o.channelsOf &&
+               usersPerChannel == o.usersPerChannel &&
+               displacementCost == o.displacementCost;
+    }
+    bool operator!=(const HbmBinding &o) const { return !(*this == o); }
 };
 
 /** Options for HBM channel binding. */

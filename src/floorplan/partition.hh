@@ -29,6 +29,15 @@ struct DevicePartition
 
     /** Number of distinct devices actually used. */
     int devicesUsed() const;
+
+    bool operator==(const DevicePartition &o) const
+    {
+        return deviceOf == o.deviceOf;
+    }
+    bool operator!=(const DevicePartition &o) const
+    {
+        return !(*this == o);
+    }
 };
 
 /** Task -> slot assignment within its device (level-2 result). */
@@ -36,6 +45,15 @@ struct SlotPlacement
 {
     /** slotOf[v] = slot coordinate of vertex v inside its device. */
     std::vector<SlotCoord> slotOf;
+
+    bool operator==(const SlotPlacement &o) const
+    {
+        return slotOf == o.slotOf;
+    }
+    bool operator!=(const SlotPlacement &o) const
+    {
+        return !(*this == o);
+    }
 };
 
 /**

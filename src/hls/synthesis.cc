@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <thread>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace tapacs::hls
 {
@@ -28,9 +28,8 @@ synthesizeAll(const std::vector<TaskIr> &tasks, int maxThreads)
     ProgramSynthesis out;
     out.tasks.resize(tasks.size());
 
-    int threads = maxThreads > 0
-                      ? maxThreads
-                      : static_cast<int>(std::thread::hardware_concurrency());
+    int threads = maxThreads > 0 ? maxThreads
+                                 : ThreadPool::defaultThreadCount();
     threads = std::max(1, std::min<int>(threads,
                                         static_cast<int>(tasks.size())));
     out.threadsUsed = threads;
@@ -39,6 +38,10 @@ synthesizeAll(const std::vector<TaskIr> &tasks, int maxThreads)
         for (size_t i = 0; i < tasks.size(); ++i)
             out.tasks[i] = estimateTask(tasks[i]);
     } else {
+        // `threads` drainer tasks on the shared pool instead of raw
+        // std::thread spawns: synthesis runs inside batch compiles
+        // whose requests are already pool tasks, and the helping wait
+        // keeps nested use deadlock-free while honoring maxThreads.
         std::atomic<size_t> next{0};
         auto worker = [&]() {
             while (true) {
@@ -48,12 +51,10 @@ synthesizeAll(const std::vector<TaskIr> &tasks, int maxThreads)
                 out.tasks[i] = estimateTask(tasks[i]);
             }
         };
-        std::vector<std::thread> pool;
-        pool.reserve(threads);
+        TaskGroup group;
         for (int t = 0; t < threads; ++t)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
+            group.run(worker);
+        group.wait();
     }
 
     out.elapsedSeconds =

@@ -105,6 +105,28 @@ MetricsSnapshot::gaugeValue(const std::string &name) const
     return it->second;
 }
 
+MetricsSnapshot
+MetricsSnapshot::filterPrefix(const std::string &prefix) const
+{
+    const auto matches = [&](const std::string &name) {
+        return name.compare(0, prefix.size(), prefix) == 0;
+    };
+    MetricsSnapshot out;
+    for (const auto &[name, value] : counters) {
+        if (matches(name))
+            out.counters.emplace(name, value);
+    }
+    for (const auto &[name, value] : gauges) {
+        if (matches(name))
+            out.gauges.emplace(name, value);
+    }
+    for (const auto &[name, value] : histograms) {
+        if (matches(name))
+            out.histograms.emplace(name, value);
+    }
+    return out;
+}
+
 std::string
 MetricsSnapshot::renderTable() const
 {

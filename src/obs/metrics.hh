@@ -129,6 +129,14 @@ struct MetricsSnapshot
     std::int64_t counterValue(const std::string &name) const;
     double gaugeValue(const std::string &name) const;
 
+    /**
+     * Copy containing only the metrics whose names start with
+     * @p prefix (e.g. "tapacs.cache." for the batch driver's cache
+     * report), so one subsystem can be rendered without the rest of
+     * the process's telemetry.
+     */
+    MetricsSnapshot filterPrefix(const std::string &prefix) const;
+
     /** Human-readable aligned text table. */
     std::string renderTable() const;
     /** JSON object {"counters":{...},"gauges":{...},"histograms":{...}}. */

@@ -1,0 +1,504 @@
+/**
+ * @file
+ * Compile-cache tests: canonical-key properties (relabeling
+ * invariance, mutation sensitivity), store mechanics (LRU, metrics,
+ * disk tier), the cold/warm differential (a cache hit never changes a
+ * compile result), family warm-starts, and shared-cache concurrency.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+
+#include "cache/compile_cache.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/thread_pool.hh"
+#include "compiler/compiler.hh"
+#include "hls/task_ir.hh"
+#include "network/cluster.hh"
+#include "network/topology.hh"
+#include "obs/metrics.hh"
+
+namespace tapacs
+{
+namespace
+{
+
+/** Random layered DAG in the style of the full-flow property suite:
+ *  real-valued areas and profiles, memory tasks at the edges. */
+TaskGraph
+randomDesign(std::uint64_t seed, int layers, int width)
+{
+    Rng rng(seed);
+    TaskGraph g(strprintf("rand%llu", (unsigned long long)seed));
+    std::vector<std::vector<VertexId>> layer_ids(layers);
+    for (int l = 0; l < layers; ++l) {
+        const int count =
+            1 + static_cast<int>(rng.uniformInt(0, width - 1));
+        for (int i = 0; i < count; ++i) {
+            Vertex v;
+            v.name = strprintf("t%d_%d", l, i);
+            v.area = ResourceVector(rng.uniformReal(500, 40000),
+                                    rng.uniformReal(800, 60000),
+                                    rng.uniformReal(0, 30),
+                                    rng.uniformReal(0, 60), 0);
+            v.work.computeOps = rng.uniformReal(1e6, 1e9);
+            v.work.opsPerCycle = 1 << rng.uniformInt(0, 5);
+            v.work.numBlocks = 8;
+            if (l == 0 || l == layers - 1) {
+                v.work.memChannels =
+                    static_cast<int>(rng.uniformInt(1, 3));
+                v.work.memReadBytes =
+                    l == 0 ? rng.uniformReal(1e6, 1e8) : 0.0;
+                v.work.memWriteBytes =
+                    l == layers - 1 ? rng.uniformReal(1e6, 1e8) : 0.0;
+            }
+            layer_ids[l].push_back(g.addVertex(v));
+        }
+    }
+    for (int l = 1; l < layers; ++l) {
+        for (VertexId v : layer_ids[l]) {
+            const auto &prev = layer_ids[l - 1];
+            const VertexId u = prev[rng.uniformInt(0, prev.size() - 1)];
+            g.addEdge(u, v, 32 << rng.uniformInt(0, 4),
+                      rng.uniformReal(1e4, 1e7));
+            if (rng.bernoulli(0.3) && l >= 2) {
+                const auto &pp = layer_ids[l - 2];
+                g.addEdge(pp[rng.uniformInt(0, pp.size() - 1)], v, 64,
+                          rng.uniformReal(1e4, 1e6));
+            }
+        }
+    }
+    return g;
+}
+
+/**
+ * An isomorphic relabeling: the same design re-inserted under random
+ * vertex and edge orders. newIdOf maps original vertex ids to ids in
+ * the relabeled graph.
+ */
+TaskGraph
+relabel(const TaskGraph &g, std::uint64_t seed,
+        std::vector<VertexId> *newIdOf)
+{
+    Rng rng(seed);
+    std::vector<VertexId> order(g.numVertices());
+    for (VertexId v = 0; v < g.numVertices(); ++v)
+        order[v] = v;
+    for (int i = g.numVertices() - 1; i > 0; --i)
+        std::swap(order[i], order[rng.uniformInt(0, i)]);
+
+    TaskGraph out(g.name() + "_relabeled");
+    newIdOf->assign(g.numVertices(), -1);
+    for (VertexId nv = 0; nv < g.numVertices(); ++nv) {
+        (*newIdOf)[order[nv]] = nv;
+        out.addVertex(g.vertex(order[nv]));
+    }
+    std::vector<EdgeId> eorder(g.numEdges());
+    for (EdgeId e = 0; e < g.numEdges(); ++e)
+        eorder[e] = e;
+    for (int i = g.numEdges() - 1; i > 0; --i)
+        std::swap(eorder[i], eorder[rng.uniformInt(0, i)]);
+    for (EdgeId ne = 0; ne < g.numEdges(); ++ne) {
+        const Edge &ed = g.edge(eorder[ne]);
+        const EdgeId id =
+            out.addEdge((*newIdOf)[ed.src], (*newIdOf)[ed.dst],
+                        ed.widthBits, ed.totalBytes, ed.depth);
+        out.edge(id).initialTokens = ed.initialTokens;
+    }
+    return out;
+}
+
+constexpr int kPropertyCases = 200;
+
+TEST(CacheKeyProperty, RelabelingHashesIdenticallyAndHitsTheCache)
+{
+    for (int seed = 0; seed < kPropertyCases; ++seed) {
+        TaskGraph g = randomDesign(9000 + seed, 3 + seed % 3, 4);
+        std::vector<VertexId> new_id;
+        TaskGraph h = relabel(g, 77 + seed, &new_id);
+
+        const cache::GraphFingerprint fg = cache::fingerprintGraph(g);
+        const cache::GraphFingerprint fh = cache::fingerprintGraph(h);
+        ASSERT_EQ(fg.structural, fh.structural) << "seed " << seed;
+
+        const int fpgas = 2 + seed % 3;
+        Cluster cluster = makePaperTestbed(fpgas);
+        const InterFpgaOptions opts;
+        ASSERT_EQ(cache::interKey(fg, cluster, fpgas, opts),
+                  cache::interKey(fh, cluster, fpgas, opts))
+            << "seed " << seed;
+
+        // The relabeled twin must not just hash alike, it must *hit*:
+        // a partition stored under g's key comes back under h's key
+        // with every assignment transported through the isomorphism.
+        cache::CacheStore store;
+        cache::CompileCache cc(store);
+        InterFpgaResult stored;
+        stored.feasible = true;
+        stored.cost = 123.5;
+        stored.partition.deviceOf.resize(g.numVertices());
+        for (VertexId v = 0; v < g.numVertices(); ++v)
+            stored.partition.deviceOf[v] = v % fpgas;
+        const cache::CacheKey key =
+            cache::interKey(fg, cluster, fpgas, opts);
+        cc.putInter(key, fg, stored);
+
+        InterFpgaResult loaded;
+        ASSERT_TRUE(cc.getInter(cache::interKey(fh, cluster, fpgas, opts),
+                                fh, &loaded))
+            << "seed " << seed;
+        EXPECT_EQ(loaded.cost, stored.cost);
+        for (VertexId v = 0; v < g.numVertices(); ++v) {
+            EXPECT_EQ(loaded.partition.deviceOf[new_id[v]],
+                      stored.partition.deviceOf[v])
+                << "seed " << seed << " vertex " << v;
+        }
+    }
+}
+
+TEST(CacheKeyProperty, AnySingleMutationChangesTheKey)
+{
+    for (int seed = 0; seed < kPropertyCases; ++seed) {
+        Rng rng(31000 + seed);
+        TaskGraph g = randomDesign(9000 + seed, 3 + seed % 3, 4);
+        const int fpgas = 2 + seed % 3;
+        Cluster cluster = makePaperTestbed(fpgas);
+        InterFpgaOptions opts;
+        const cache::CacheKey base = cache::interKey(
+            cache::fingerprintGraph(g), cluster, fpgas, opts);
+
+        // One random mutation per case, spread over every input class
+        // the key must be sensitive to.
+        const int kind = static_cast<int>(rng.uniformInt(0, 9));
+        Cluster mutated_cluster = cluster;
+        switch (kind) {
+          case 0: { // FIFO width
+            EdgeId e = rng.uniformInt(0, g.numEdges() - 1);
+            g.edge(e).widthBits *= 2;
+            break;
+          }
+          case 1: { // FIFO traffic volume
+            EdgeId e = rng.uniformInt(0, g.numEdges() - 1);
+            g.edge(e).totalBytes += 1.0;
+            break;
+          }
+          case 2: { // FIFO depth
+            EdgeId e = rng.uniformInt(0, g.numEdges() - 1);
+            g.edge(e).depth += 1;
+            break;
+          }
+          case 3: { // one resource-vector component
+            VertexId v = rng.uniformInt(0, g.numVertices() - 1);
+            g.vertex(v).area[ResourceKind::Lut] += 1.0;
+            break;
+          }
+          case 4: { // work profile
+            VertexId v = rng.uniformInt(0, g.numVertices() - 1);
+            g.vertex(v).work.computeOps += 1.0;
+            break;
+          }
+          case 5: { // memory channel demand
+            VertexId v = rng.uniformInt(0, g.numVertices() - 1);
+            g.vertex(v).work.memChannels += 1;
+            break;
+          }
+          case 6: // topology
+            mutated_cluster =
+                Cluster(cluster.device(),
+                        Topology(TopologyKind::Chain, fpgas));
+            break;
+          case 7: // threshold
+            opts.threshold += 0.01;
+            break;
+          case 8: // solver budget
+            opts.solver.timeLimitSeconds *= 2.0;
+            break;
+          case 9: // coarsening seed
+            opts.seed += 1;
+            break;
+        }
+        const cache::CacheKey mutated = cache::interKey(
+            cache::fingerprintGraph(g), mutated_cluster, fpgas, opts);
+        EXPECT_NE(base, mutated) << "seed " << seed << " kind " << kind;
+    }
+}
+
+TEST(CacheKeyProperty, DeviceCountAndWiringSeparateFamilies)
+{
+    TaskGraph g = randomDesign(1234, 4, 4);
+    const cache::GraphFingerprint fp = cache::fingerprintGraph(g);
+    Cluster two = makePaperTestbed(2);
+    Cluster four = makePaperTestbed(4);
+    EXPECT_NE(cache::interFamilyKey(fp, two, 2),
+              cache::interFamilyKey(fp, four, 4));
+    EXPECT_NE(cache::clusterKey(two), cache::clusterKey(four));
+}
+
+TEST(CacheStore, LruEvictsWithinBudgetAndCountsMetrics)
+{
+    obs::MetricsRegistry::global().resetPrefix("tapacs.cache.");
+    cache::CacheStore::Options opt;
+    opt.capacityBytes = 4096;
+    opt.shards = 1; // single shard so the LRU order is observable
+    cache::CacheStore store(std::move(opt));
+
+    auto key = [](int i) {
+        cache::KeyBuilder b;
+        b.i64(i);
+        return b.build();
+    };
+    const std::string blob(512, 'x');
+    for (int i = 0; i < 32; ++i)
+        store.put(key(i), blob);
+    EXPECT_LE(store.bytesInMemory(), 4096u);
+
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    EXPECT_GT(snap.counterValue("tapacs.cache.evictions"), 0);
+    EXPECT_EQ(snap.gaugeValue("tapacs.cache.bytes"),
+              static_cast<double>(store.bytesInMemory()));
+
+    // The most recent entries survived; the oldest were evicted.
+    EXPECT_NE(store.get(key(31)), nullptr);
+    EXPECT_EQ(store.get(key(0)), nullptr);
+    const obs::MetricsSnapshot snap2 =
+        obs::MetricsRegistry::global().snapshot();
+    EXPECT_GE(snap2.counterValue("tapacs.cache.hits"), 1);
+    EXPECT_GE(snap2.counterValue("tapacs.cache.misses"), 1);
+}
+
+TEST(CacheStore, DiskTierRoundTripsAcrossStoreInstances)
+{
+    const std::string dir =
+        testing::TempDir() + "/tapacs_cache_disk_test";
+    std::filesystem::remove_all(dir);
+
+    cache::CacheKey key;
+    key.hi = 0x1234;
+    key.lo = 0x5678;
+    {
+        cache::CacheStore::Options opt;
+        opt.directory = dir;
+        cache::CacheStore store(std::move(opt));
+        store.put(key, "payload");
+    }
+    // A brand-new store over the same directory serves the entry from
+    // disk and promotes it into memory.
+    cache::CacheStore::Options opt;
+    opt.directory = dir;
+    cache::CacheStore store(std::move(opt));
+    auto blob = store.get(key);
+    ASSERT_NE(blob, nullptr);
+    EXPECT_EQ(*blob, "payload");
+    EXPECT_GT(store.bytesInMemory(), 0u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(CacheStore, MalformedEntryDegradesToMiss)
+{
+    cache::CacheStore store;
+    cache::CompileCache cc(store);
+    cache::CacheKey key;
+    key.hi = 7;
+    store.put(key, "hls1 garbage that does not parse");
+    hls::SynthesisResult out;
+    EXPECT_FALSE(cc.getHls(key, &out));
+    store.put(key, "");
+    EXPECT_FALSE(cc.getHls(key, &out));
+}
+
+TEST(CompileCache, HlsEntryRoundTripsExactly)
+{
+    cache::CacheStore store;
+    cache::CompileCache cc(store);
+    hls::SynthesisResult r;
+    r.taskName = "task with spaces";
+    r.area = ResourceVector(1234.5, 0.125, 3e-7, 42.0, 1.0);
+    r.fmaxCeiling = 312.5e6;
+    r.fsmStates = 17;
+    r.pipelineDepth = 9;
+    cache::CacheKey key;
+    key.lo = 99;
+    cc.putHls(key, r);
+    hls::SynthesisResult out;
+    ASSERT_TRUE(cc.getHls(key, &out));
+    EXPECT_EQ(out.taskName, r.taskName);
+    EXPECT_TRUE(out.area == r.area);
+    EXPECT_EQ(out.fmaxCeiling, r.fmaxCeiling); // bit-exact, not approx
+    EXPECT_EQ(out.fsmStates, r.fsmStates);
+    EXPECT_EQ(out.pipelineDepth, r.pipelineDepth);
+}
+
+/** Field-by-field bit-exact comparison of two compile results. */
+void
+expectResultsIdentical(const CompileResult &a, const CompileResult &b,
+                       const char *what)
+{
+    ASSERT_EQ(a.routable, b.routable) << what;
+    EXPECT_TRUE(a.partition == b.partition) << what;
+    EXPECT_TRUE(a.placement == b.placement) << what;
+    EXPECT_TRUE(a.binding == b.binding) << what;
+    EXPECT_EQ(a.fmax, b.fmax) << what;
+    EXPECT_EQ(a.cutTrafficBytes, b.cutTrafficBytes) << what;
+    EXPECT_EQ(a.deviceFmax, b.deviceFmax) << what;
+    EXPECT_EQ(a.pipeline.totalRegisterBits, b.pipeline.totalRegisterBits)
+        << what;
+    EXPECT_EQ(a.l1SolverStats.nodesExplored, b.l1SolverStats.nodesExplored)
+        << what;
+    EXPECT_EQ(a.l2SolverStats.lpIterations, b.l2SolverStats.lpIterations)
+        << what;
+}
+
+TEST(CompileCache, WarmCompileIsByteIdenticalToColdAndUncached)
+{
+    TaskGraph g1 = randomDesign(4242, 4, 4);
+    TaskGraph g2 = randomDesign(4242, 4, 4);
+    TaskGraph g3 = randomDesign(4242, 4, 4);
+    Cluster cluster = makePaperTestbed(3);
+    CompileOptions opt;
+    opt.mode = CompileMode::TapaCs;
+    opt.numFpgas = 3;
+
+    const CompileResult uncached = compile(g1, cluster, opt);
+    ASSERT_TRUE(uncached.routable) << uncached.failureReason;
+
+    cache::CacheStore store;
+    cache::CompileCache cc(store);
+    opt.cache = &cc;
+    const CompileResult cold = compile(g2, cluster, opt);
+    const CompileResult warm = compile(g3, cluster, opt);
+
+    expectResultsIdentical(uncached, cold, "cold vs uncached");
+    expectResultsIdentical(cold, warm, "warm vs cold");
+    // The warm run was served from the cache: both solver phases hit.
+    EXPECT_GT(store.bytesInMemory(), 0u);
+}
+
+TEST(CompileCache, HlsPhaseMemoizesPerTask)
+{
+    obs::MetricsRegistry::global().resetPrefix("tapacs.cache.");
+    Cluster cluster = makePaperTestbed(2);
+    CompileOptions opt;
+    opt.mode = CompileMode::TapaCs;
+    opt.numFpgas = 2;
+    cache::CacheStore store;
+    cache::CompileCache cc(store);
+    opt.cache = &cc;
+
+    // Two programs sharing task IRs: the second compile's phase 2 must
+    // be served per-task from the cache.
+    TaskGraph g1 = randomDesign(5555, 3, 3);
+    std::vector<hls::TaskIr> tasks;
+    for (VertexId v = 0; v < g1.numVertices(); ++v) {
+        hls::TaskIr t;
+        t.name = g1.vertex(v).name;
+        t.intAluUnits = 4 + v;
+        t.fsmStates = 3;
+        tasks.push_back(t);
+    }
+    const CompileResult r1 = compileProgram(g1, tasks, cluster, opt);
+    const std::int64_t misses_after_cold =
+        obs::MetricsRegistry::global()
+            .snapshot()
+            .counterValue("tapacs.cache.misses");
+
+    TaskGraph g2 = randomDesign(5555, 3, 3);
+    const CompileResult r2 = compileProgram(g2, tasks, cluster, opt);
+    expectResultsIdentical(r1, r2, "recompile");
+    for (VertexId v = 0; v < g1.numVertices(); ++v)
+        EXPECT_TRUE(g1.vertex(v).area == g2.vertex(v).area);
+
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    // Warm run added hits but no new HLS misses.
+    EXPECT_EQ(snap.counterValue("tapacs.cache.misses"),
+              misses_after_cold);
+    EXPECT_GE(snap.counterValue("tapacs.cache.hits"),
+              static_cast<std::int64_t>(tasks.size()));
+}
+
+TEST(CompileCache, FamilyEntryWarmStartsNearMissRequests)
+{
+    obs::MetricsRegistry::global().resetPrefix("tapacs.cache.");
+    TaskGraph g1 = randomDesign(7777, 4, 4);
+    TaskGraph g2 = randomDesign(7777, 4, 4);
+    Cluster cluster = makePaperTestbed(2);
+    cache::CacheStore store;
+    cache::CompileCache cc(store);
+
+    CompileOptions opt;
+    opt.mode = CompileMode::TapaCs;
+    opt.numFpgas = 2;
+    opt.cache = &cc;
+    const CompileResult cold = compile(g1, cluster, opt);
+    ASSERT_TRUE(cold.routable) << cold.failureReason;
+
+    // Same design, different solver budget: the exact key misses, the
+    // family entry supplies warm-start hints.
+    opt.cacheWarmStart = true;
+    opt.inter.solver.timeLimitSeconds *= 2.0;
+    const CompileResult near = compile(g2, cluster, opt);
+    ASSERT_TRUE(near.routable) << near.failureReason;
+    EXPECT_TRUE(respectsThreshold(g2, cluster, near.partition,
+                                  near.reservedPerDevice, opt.threshold));
+    EXPECT_EQ(obs::MetricsRegistry::global()
+                  .snapshot()
+                  .counterValue("tapacs.cache.warm_starts"),
+              1);
+}
+
+TEST(CacheConcurrency, SharedCacheBatchMatchesSerialBitExactly)
+{
+    // Overlapping requests: 3 distinct designs, 4 executions each,
+    // interleaved. The serial uncached pass is the reference; the
+    // 4-thread pass shares one cache, so most executions are hits —
+    // and every result must still be bit-identical.
+    constexpr int kDesigns = 3;
+    constexpr int kRepeats = 4;
+    Cluster cluster = makePaperTestbed(2);
+    CompileOptions base;
+    base.mode = CompileMode::TapaCs;
+    base.numFpgas = 2;
+
+    std::vector<CompileResult> reference(kDesigns);
+    for (int d = 0; d < kDesigns; ++d) {
+        TaskGraph g = randomDesign(6000 + d, 4, 4);
+        reference[d] = compile(g, cluster, base);
+        ASSERT_TRUE(reference[d].routable)
+            << reference[d].failureReason;
+    }
+
+    cache::CacheStore store;
+    cache::CompileCache cc(store);
+    std::vector<CompileResult> parallel(kDesigns * kRepeats);
+    std::atomic<std::size_t> next{0};
+    ThreadPool pool(4);
+    TaskGroup group(pool);
+    for (int t = 0; t < 4; ++t) {
+        group.run([&]() {
+            while (true) {
+                const std::size_t i = next.fetch_add(1);
+                if (i >= parallel.size())
+                    return;
+                TaskGraph g = randomDesign(
+                    6000 + static_cast<int>(i) % kDesigns, 4, 4);
+                CompileOptions opt = base;
+                opt.cache = &cc;
+                parallel[i] = compile(g, cluster, opt);
+            }
+        });
+    }
+    group.wait();
+
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+        expectResultsIdentical(reference[i % kDesigns], parallel[i],
+                               strprintf("execution %zu", i).c_str());
+    }
+}
+
+} // namespace
+} // namespace tapacs

@@ -14,6 +14,21 @@
  *   tapacs-golden --write DIR    regenerate DIR/<workload>.json
  *   tapacs-golden --check DIR    compare against DIR/<workload>.json;
  *                                exit 1 on any mismatch
+ *   tapacs-golden --check-cached DIR
+ *                                compile every workload twice against
+ *                                one shared compile cache (cold, then
+ *                                warm from a fresh design); the warm
+ *                                render must be byte-identical to the
+ *                                cold one AND to the golden — the
+ *                                differential proof that a cache hit
+ *                                never changes an answer
+ *   tapacs-golden --check-cached-diff DIR
+ *                                the warm-vs-cold differential only,
+ *                                without the golden comparison — for
+ *                                sanitizer builds, where the slowed
+ *                                time-limited ILP solves legitimately
+ *                                land on different incumbents than
+ *                                the release-recorded goldens
  *
  * Regenerate with tools/update_goldens.sh after an intentional model
  * change, and review the diff like any other code change.
@@ -30,6 +45,7 @@
 #include "apps/knn.hh"
 #include "apps/pagerank.hh"
 #include "apps/stencil.hh"
+#include "cache/compile_cache.hh"
 #include "common/logging.hh"
 #include "compiler/compiler.hh"
 #include "network/faults.hh"
@@ -120,12 +136,13 @@ appendSimJson(std::ostringstream &js, const TaskGraph &g,
 
 /** Compile + healthy run + faulted run, rendered as canonical JSON. */
 std::string
-renderWorkload(Workload &w)
+renderWorkload(Workload &w, cache::CompileCache *cc = nullptr)
 {
     Cluster cluster = makePaperTestbed(2);
     CompileOptions opt;
     opt.mode = CompileMode::TapaCs;
     opt.numFpgas = 2;
+    opt.cache = cc;
     const CompileResult r =
         compileProgram(w.design.graph, w.design.tasks, cluster, opt);
     if (!r.routable)
@@ -181,8 +198,60 @@ readFile(const std::string &path)
 [[noreturn]] void
 usage()
 {
-    std::fprintf(stderr, "usage: tapacs-golden --write|--check DIR\n");
+    std::fprintf(stderr,
+                 "usage: tapacs-golden --write|--check|--check-cached"
+                 "|--check-cached-diff DIR\n");
     std::exit(2);
+}
+
+/**
+ * The cache differential: render each workload cold (populating the
+ * shared cache), then again from a freshly built design so every
+ * solver phase is served from the cache. Both renders must match each
+ * other byte for byte (a hit never changes an answer) and match the
+ * golden (the cached flow is the same flow).
+ */
+int
+checkCached(const std::string &dir, bool compareGolden)
+{
+    cache::CacheStore store;
+    cache::CompileCache cc(store);
+    int mismatches = 0;
+    std::vector<Workload> cold_runs = paperWorkloads();
+    std::vector<Workload> warm_runs = paperWorkloads();
+    for (size_t i = 0; i < cold_runs.size(); ++i) {
+        const std::string cold = renderWorkload(cold_runs[i], &cc);
+        const std::string warm = renderWorkload(warm_runs[i], &cc);
+        const std::string golden =
+            compareGolden
+                ? readFile(dir + "/" + cold_runs[i].name + ".json")
+                : cold;
+        if (warm != cold) {
+            ++mismatches;
+            std::printf("MISMATCH %s (warm differs from cold)\n"
+                        "  cold: %s  warm: %s",
+                        cold_runs[i].name.c_str(), cold.c_str(),
+                        warm.c_str());
+        } else if (warm != golden) {
+            ++mismatches;
+            std::printf("MISMATCH %s (cached differs from golden)\n"
+                        "  golden:  %s  cached: %s",
+                        cold_runs[i].name.c_str(), golden.c_str(),
+                        warm.c_str());
+        } else {
+            std::printf("ok      %s (cold == warm%s)\n",
+                        cold_runs[i].name.c_str(),
+                        compareGolden ? " == golden" : "");
+        }
+    }
+    if (mismatches > 0) {
+        std::fprintf(stderr,
+                     "%d workload(s) diverged under the compile "
+                     "cache\n",
+                     mismatches);
+        return 1;
+    }
+    return 0;
 }
 
 } // namespace
@@ -194,8 +263,11 @@ main(int argc, char **argv)
         usage();
     const std::string mode = argv[1];
     const std::string dir = argv[2];
-    if (mode != "--write" && mode != "--check")
+    if (mode != "--write" && mode != "--check" &&
+        mode != "--check-cached" && mode != "--check-cached-diff")
         usage();
+    if (mode == "--check-cached" || mode == "--check-cached-diff")
+        return checkCached(dir, mode == "--check-cached");
 
     int mismatches = 0;
     for (Workload &w : paperWorkloads()) {

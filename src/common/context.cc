@@ -1,0 +1,53 @@
+#include "common/context.hh"
+
+#include <algorithm>
+#include <chrono>
+
+namespace tapacs
+{
+
+double
+monotonicSeconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+Context
+Context::withTimeout(double seconds)
+{
+    // seconds <= 0 pins the deadline at -inf so expired() is true on
+    // every poll, independent of clock resolution — the property the
+    // deterministic degraded-path tests rely on.
+    const double deadline =
+        seconds <= 0.0 ? -std::numeric_limits<double>::infinity()
+                       : monotonicSeconds() + seconds;
+    return Context(deadline, std::make_shared<std::atomic<bool>>(false));
+}
+
+Context
+Context::cancellable()
+{
+    return Context(std::numeric_limits<double>::infinity(),
+                   std::make_shared<std::atomic<bool>>(false));
+}
+
+Context
+Context::withBudget(double seconds) const
+{
+    const double budgeted = monotonicSeconds() + seconds;
+    return Context(std::min(deadline_, budgeted), cancel_);
+}
+
+Status
+Context::status() const
+{
+    if (expired())
+        return Status::deadlineExceeded("deadline expired");
+    if (cancelled())
+        return Status::cancelled("request cancelled");
+    return Status();
+}
+
+} // namespace tapacs

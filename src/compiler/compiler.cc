@@ -148,11 +148,22 @@ compile(const TaskGraph &g, const Cluster &cluster,
     const bool multi = options.mode == CompileMode::TapaCs &&
                        options.numFpgas > 1;
     const int fpgas = multi ? options.numFpgas : 1;
-    if (fpgas > cluster.numDevices())
-        fatal("compile: requested %d FPGAs but the cluster has %d",
-              fpgas, cluster.numDevices());
+    if (fpgas > cluster.numDevices()) {
+        out.status = Status::invalidInput(
+            "compile: requested %d FPGAs but the cluster has %d", fpgas,
+            cluster.numDevices());
+        out.failureReason = out.status.message();
+        return out;
+    }
 
     const DeviceModel &dev = cluster.device();
+
+    // A context that can fire mid-solve makes the result depend on
+    // wall-clock timing; such runs may read the compile cache but
+    // never write it, so exact keys only ever hold full-quality,
+    // reproducible artifacts.
+    const bool volatile_ctx =
+        options.ctx.hasDeadline() || options.ctx.cancellable_token();
 
     // ---- Step 1: task-graph validation + fit gates ------------------
     // (Graph *construction* happens in the app builders; this is the
@@ -160,7 +171,12 @@ compile(const TaskGraph &g, const Cluster &cluster,
     const ResourceVector total_area = g.totalArea();
     {
         obs::TraceSpan span("compile", "phase1.task_graph");
-        g.validate();
+        const Status graph_status = g.validateStatus();
+        if (!graph_status.ok()) {
+            out.status = graph_status;
+            out.failureReason = graph_status.message();
+            return out;
+        }
         span.arg("vertices", static_cast<std::int64_t>(g.numVertices()))
             .arg("edges", static_cast<std::int64_t>(g.numEdges()))
             .arg("total_luts", total_area[ResourceKind::Lut]);
@@ -172,6 +188,8 @@ compile(const TaskGraph &g, const Cluster &cluster,
                     "Vitis routing failure: device utilization %.1f%% "
                     "exceeds the un-floorplanned routable limit %.1f%%",
                     util * 100.0, options.vitisRoutableUtil * 100.0);
+                out.status =
+                    Status::infeasible("%s", out.failureReason.c_str());
                 return out;
             }
         }
@@ -187,6 +205,8 @@ compile(const TaskGraph &g, const Cluster &cluster,
                     "design binds %d memory channels but the device "
                     "exposes only %d",
                     total_ch, dev.memory().channels);
+                out.status =
+                    Status::infeasible("%s", out.failureReason.c_str());
                 return out;
             }
         }
@@ -226,6 +246,20 @@ compile(const TaskGraph &g, const Cluster &cluster,
         inter.reserved = out.reservedPerDevice;
         inter.seed = options.seed;
         inter.channelsPerDevice = dev.memory().channels;
+        // Phase budget: the level-1 solve may spend at most half the
+        // remaining time, leaving the rest for level 2 and the cheap
+        // tail phases. The solver's own wall-clock limit is clamped
+        // to the same slice so whichever fires first drains the
+        // search with its best incumbent.
+        inter.ctx = options.ctx;
+        if (options.ctx.hasDeadline()) {
+            const double remain =
+                std::max(options.ctx.remainingSeconds(), 0.0);
+            inter.ctx = options.ctx.withBudget(0.5 * remain);
+            inter.solver.timeLimitSeconds =
+                std::min(inter.solver.timeLimitSeconds,
+                         std::max(0.5 * remain, 1.0e-3));
+        }
         cache::CacheKey l1_key;
         cache::CacheKey fam_key;
         bool l1_cached = false;
@@ -251,7 +285,7 @@ compile(const TaskGraph &g, const Cluster &cluster,
                 }
             }
             l1 = floorplanInterFpga(g, cluster, inter);
-            if (cc != nullptr) {
+            if (cc != nullptr && !volatile_ctx) {
                 // A warm-started solve may sit on a different
                 // tied-optimal point than a cold one; keep it out of
                 // the exact tier so cached answers never depend on
@@ -263,6 +297,36 @@ compile(const TaskGraph &g, const Cluster &cluster,
                     cc->putFamilyPartition(fam_key, fp, l1.partition);
             }
         }
+        if (!l1.status.ok() &&
+            l1.status.code() == StatusCode::InvalidInput) {
+            out.status = l1.status;
+            out.failureReason = l1.status.message();
+            return out;
+        }
+        if (!l1.feasible && inter.useIlp) {
+            // Degraded-mode fallback: the exact tier found nothing
+            // (infeasible incumbent, or the budget fired before one
+            // appeared) — retry once on the deterministic greedy +
+            // refinement path, which is cheap and succeeds whenever
+            // any threshold-feasible partition is reachable greedily.
+            InterFpgaOptions fallback = inter;
+            fallback.useIlp = false;
+            InterFpgaResult retry = floorplanInterFpga(g, cluster,
+                                                       fallback);
+            if (retry.feasible) {
+                retry.solverStats.merge(l1.solverStats);
+                retry.elapsedSeconds += l1.elapsedSeconds;
+                l1 = std::move(retry);
+                out.degraded = true;
+                out.degradedReason =
+                    "inter-FPGA ILP tier produced no feasible "
+                    "partition under its budget; greedy fallback "
+                    "succeeded";
+                obs::MetricsRegistry::global()
+                    .counter("tapacs.compile.l1_fallbacks")
+                    .add();
+            }
+        }
         span.arg("devices", static_cast<std::int64_t>(fpgas))
             .arg("cost", l1.cost)
             .arg("cut_traffic_bytes", l1.cutTrafficBytes)
@@ -272,7 +336,23 @@ compile(const TaskGraph &g, const Cluster &cluster,
         if (!l1.feasible) {
             out.failureReason = strprintf(
                 "no threshold-feasible partition on %d FPGA(s)", fpgas);
+            // When the context fired, a fuller search might have
+            // found one — report the truncation, not infeasibility.
+            out.status = (l1.interrupted || inter.ctx.done())
+                             ? inter.ctx.status()
+                             : Status::infeasible(
+                                   "%s", out.failureReason.c_str());
+            if (out.status.ok())
+                out.status =
+                    Status::infeasible("%s", out.failureReason.c_str());
             return out;
+        }
+        if (l1.interrupted && !out.degraded) {
+            out.degraded = true;
+            out.degradedReason = strprintf(
+                "inter-FPGA floorplan truncated (%s): best incumbent "
+                "under the budget",
+                toString(inter.ctx.status().code()));
         }
         out.partition = l1.partition;
         out.l1Seconds = l1.elapsedSeconds;
@@ -290,6 +370,8 @@ compile(const TaskGraph &g, const Cluster &cluster,
                     "design utilization %.1f%% exceeds threshold %.1f%% "
                     "on a single device", util * 100.0,
                     options.threshold * 100.0);
+                out.status =
+                    Status::infeasible("%s", out.failureReason.c_str());
                 return out;
             }
         }
@@ -309,6 +391,14 @@ compile(const TaskGraph &g, const Cluster &cluster,
             intra.seed = options.seed;
             if (intra.numThreads == 0)
                 intra.numThreads = options.numThreads;
+            // Phase budget: level 2 gets most of whatever remains —
+            // only the cheap pipelining/timing phases follow it.
+            intra.ctx = options.ctx;
+            if (options.ctx.hasDeadline()) {
+                const double remain =
+                    std::max(options.ctx.remainingSeconds(), 0.0);
+                intra.ctx = options.ctx.withBudget(0.9 * remain);
+            }
             // HBM channel binding is the memory half of step 5: the
             // paper binds channels from the same placement the
             // intra-FPGA ILP produced — so placement and binding are
@@ -329,8 +419,20 @@ compile(const TaskGraph &g, const Cluster &cluster,
                 phase5.binding =
                     bindHbmChannels(g, cluster, out.partition,
                                     phase5.floorplan.placement, bind_opt);
-                if (cc != nullptr)
+                if (cc != nullptr && !volatile_ctx)
                     cc->putIntra(l2_key, fp, phase5);
+            }
+            if (phase5.floorplan.interrupted) {
+                out.degraded = true;
+                if (!out.degradedReason.empty())
+                    out.degradedReason += "; ";
+                out.degradedReason += strprintf(
+                    "intra-FPGA floorplan degraded (%s): greedy cuts "
+                    "instead of per-bisection ILPs",
+                    toString(intra.ctx.status().code()));
+                obs::MetricsRegistry::global()
+                    .counter("tapacs.compile.l2_fallbacks")
+                    .add();
             }
             out.placement = phase5.floorplan.placement;
             out.binding = phase5.binding;
@@ -378,6 +480,7 @@ compile(const TaskGraph &g, const Cluster &cluster,
                 break;
             }
         }
+        out.status = Status::infeasible("%s", out.failureReason.c_str());
         return out;
     }
 
@@ -398,16 +501,27 @@ replan(const TaskGraph &g, const Cluster &cluster,
        const std::vector<Hertz> &fmaxCeiling)
 {
     if (options.mode != CompileMode::TapaCs || options.numFpgas <= 1) {
-        fatal("replan: only the multi-FPGA TAPA-CS flow can exclude "
-              "failed devices (mode %s, %d FPGA(s))",
-              toString(options.mode), options.numFpgas);
+        CompileResult out;
+        out.mode = options.mode;
+        out.status = Status::invalidInput(
+            "replan: only the multi-FPGA TAPA-CS flow can exclude "
+            "failed devices (mode %s, %d FPGA(s))",
+            toString(options.mode), options.numFpgas);
+        out.failureReason = out.status.message();
+        return out;
     }
 
     std::vector<char> allowed(options.numFpgas, 1);
     for (DeviceId d : failedDevices) {
-        if (d < 0 || d >= options.numFpgas)
-            fatal("replan: failed device %d out of range [0, %d)", d,
-                  options.numFpgas);
+        if (d < 0 || d >= options.numFpgas) {
+            CompileResult out;
+            out.mode = options.mode;
+            out.status = Status::invalidInput(
+                "replan: failed device %d out of range [0, %d)", d,
+                options.numFpgas);
+            out.failureReason = out.status.message();
+            return out;
+        }
         allowed[d] = 0;
     }
     int survivors = 0;
@@ -417,6 +531,7 @@ replan(const TaskGraph &g, const Cluster &cluster,
         CompileResult out;
         out.mode = options.mode;
         out.failureReason = "replan: every device has failed";
+        out.status = Status::infeasible("%s", out.failureReason.c_str());
         return out;
     }
 
@@ -426,9 +541,14 @@ replan(const TaskGraph &g, const Cluster &cluster,
     if (previous != nullptr) {
         if (static_cast<int>(previous->deviceOf.size()) !=
             g.numVertices()) {
-            fatal("replan: previous partition covers %zu vertices but "
-                  "the graph has %d",
-                  previous->deviceOf.size(), g.numVertices());
+            CompileResult out;
+            out.mode = options.mode;
+            out.status = Status::invalidInput(
+                "replan: previous partition covers %zu vertices but "
+                "the graph has %d",
+                previous->deviceOf.size(), g.numVertices());
+            out.failureReason = out.status.message();
+            return out;
         }
         opts.inter.hint.assign(g.numVertices(), -1);
         for (VertexId v = 0; v < g.numVertices(); ++v) {

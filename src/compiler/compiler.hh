@@ -26,6 +26,8 @@
 #include <string>
 #include <vector>
 
+#include "common/context.hh"
+#include "common/status.hh"
 #include "floorplan/hbm_binding.hh"
 #include "floorplan/inter_fpga.hh"
 #include "floorplan/intra_fpga.hh"
@@ -80,6 +82,18 @@ struct CompileOptions
     bool vitisPrePipelined = false;
     std::uint64_t seed = 1;
     /**
+     * Deadline + cancellation token for this compilation. The flow
+     * derives per-phase budgets from the remaining time (the
+     * solver-heavy phases 3 and 5 each get a bounded slice) and every
+     * inner loop polls the token, so a fired context drains
+     * cooperatively: the ILP tiers fall back coarse-ILP -> greedy and
+     * the result comes back with degraded = true rather than no
+     * answer. Results computed under a deadline or live cancel token
+     * are never written to the compile cache — a truncated solve must
+     * not poison exact keys.
+     */
+    Context ctx;
+    /**
      * Worker threads for the parallel floorplanning stages (per-device
      * intra-FPGA placement, HBM binding sweep). 0 = default pool size
      * (TAPACS_THREADS / hardware concurrency); 1 = serial. Forwarded
@@ -132,6 +146,22 @@ struct CompileResult
     bool routable = false;
     /** Why routing failed (empty when routable). */
     std::string failureReason;
+    /**
+     * Typed outcome. Ok for any produced result — including degraded
+     * ones; InvalidInput for malformed requests, Infeasible when no
+     * partition/routing exists, DeadlineExceeded/Cancelled when the
+     * context fired and not even a degraded answer could be formed.
+     */
+    Status status;
+    /**
+     * True when a deadline or cancellation forced a fallback (greedy
+     * instead of ILP, best incumbent instead of optimum) anywhere in
+     * the flow. The result is still valid and feasible — just not of
+     * full quality.
+     */
+    bool degraded = false;
+    /** Which phase degraded and why (empty when !degraded). */
+    std::string degradedReason;
 
     DevicePartition partition;
     SlotPlacement placement;
@@ -170,6 +200,11 @@ struct CompileResult
  *        devices for TapaCs mode.
  * @param fmaxCeiling optional per-vertex intrinsic fmax from
  *        synthesis.
+ *
+ * Never calls fatal(): malformed requests (bad graph, more FPGAs than
+ * the cluster holds) come back with routable = false and an
+ * InvalidInput status, so the compile service can run this on
+ * arbitrary requests.
  */
 CompileResult compile(const TaskGraph &g, const Cluster &cluster,
                       const CompileOptions &options,
@@ -189,8 +224,9 @@ CompileResult compile(const TaskGraph &g, const Cluster &cluster,
  * Returns routable = false with a failure reason when every device
  * failed or the survivors cannot hold the design under the threshold.
  * Only meaningful for CompileMode::TapaCs with numFpgas > 1; other
- * modes call fatal() (a single-FPGA flow has nothing to fail over
- * to).
+ * modes return InvalidInput (a single-FPGA flow has nothing to fail
+ * over to), as do out-of-range device ids and a mis-sized previous
+ * partition.
  */
 CompileResult replan(const TaskGraph &g, const Cluster &cluster,
                      const CompileOptions &options,

@@ -380,6 +380,10 @@ refine(const TaskGraph &g, const Cluster &cluster,
 
     const int max_passes = 8;
     for (int pass = 0; pass < max_passes; ++pass) {
+        // Refinement is pure polish: when the request's budget is
+        // spent, keep the current (already feasible) partition.
+        if (opt.ctx.done())
+            return;
         for (int i = n - 1; i > 0; --i)
             std::swap(order[i], order[rng.uniformInt(0, i)]);
         bool improved = false;
@@ -583,14 +587,22 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
     const int f = cluster.numDevices();
     if (!options.deviceAllowed.empty() &&
         static_cast<int>(options.deviceAllowed.size()) != f) {
-        fatal("deviceAllowed mask covers %d devices but the cluster "
-              "has %d",
-              static_cast<int>(options.deviceAllowed.size()), f);
+        InterFpgaResult out;
+        out.feasible = false;
+        out.status = Status::invalidInput(
+            "deviceAllowed mask covers %d devices but the cluster "
+            "has %d",
+            static_cast<int>(options.deviceAllowed.size()), f);
+        return out;
     }
     if (!options.hint.empty() &&
         static_cast<int>(options.hint.size()) != g.numVertices()) {
-        fatal("warm-start hint covers %d vertices but the graph has %d",
-              static_cast<int>(options.hint.size()), g.numVertices());
+        InterFpgaResult out;
+        out.feasible = false;
+        out.status = Status::invalidInput(
+            "warm-start hint covers %d vertices but the graph has %d",
+            static_cast<int>(options.hint.size()), g.numVertices());
+        return out;
     }
     const int avail = options.numAllowed(f);
     if (avail == 0) {
@@ -598,14 +610,22 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
              g.name().c_str());
         InterFpgaResult out;
         out.feasible = false;
+        out.status = Status::infeasible(
+            "no usable device left for '%s'", g.name().c_str());
         return out;
     }
     const ResourceVector budget = deviceBudget(g, cluster, options);
     for (int r = 0; r < kNumResourceKinds; ++r) {
         const auto kind = static_cast<ResourceKind>(r);
-        if (budget[kind] < 0.0)
-            fatal("reserved resources exceed the per-device budget for %s",
-                  toString(kind));
+        if (budget[kind] < 0.0) {
+            InterFpgaResult out;
+            out.feasible = false;
+            out.status = Status::invalidInput(
+                "reserved resources exceed the per-device budget "
+                "for %s",
+                toString(kind));
+            return out;
+        }
         const double need = g.totalArea()[kind];
         if (need > budget[kind] * avail + 1e-9) {
             warn("design '%s' needs %.0f %s but %d device(s) offer only "
@@ -614,6 +634,11 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
                  budget[kind] * avail, options.threshold);
             InterFpgaResult out;
             out.feasible = false;
+            out.status = Status::infeasible(
+                "design '%s' needs %.0f %s but %d device(s) offer "
+                "only %.0f under threshold %.2f",
+                g.name().c_str(), need, toString(kind), avail,
+                budget[kind] * avail, options.threshold);
             return out;
         }
     }
@@ -627,6 +652,11 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
                  options.channelsPerDevice * avail);
             InterFpgaResult out;
             out.feasible = false;
+            out.status = Status::infeasible(
+                "design '%s' binds %d memory channels but %d "
+                "device(s) expose only %d",
+                g.name().c_str(), total_ch, avail,
+                options.channelsPerDevice * avail);
             return out;
         }
     }
@@ -646,7 +676,12 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
         out.partition.deviceOf.assign(g.numVertices(), only);
         out.coarseVertices = g.numVertices();
         out.ilpOptimal = true;
-    } else if (!options.useIlp) {
+    } else if (!options.useIlp || options.ctx.done()) {
+        // Heuristic mode, either requested or forced by an already-
+        // spent deadline: greedy + repair, refinement only while the
+        // budget lasts. Deterministic for a context that is done on
+        // entry (refine exits at pass 0 every run).
+        out.interrupted = options.ctx.done();
         out.partition = greedyAssign(g, cluster, options);
         repairChannels(g, cluster, options, out.partition);
         refine(g, cluster, options, out.partition, rng);
@@ -665,6 +700,11 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
         // vertex takes the most common hint among its members (ties
         // broken toward the lowest device id, for determinism).
         InterFpgaOptions copt = options;
+        // The coarse ILP inherits the request token: when it fires
+        // mid-search the solver hands back its best incumbent (the
+        // greedy warm start at worst) instead of running out the
+        // configured node/time limits.
+        copt.solver.ctx = options.ctx;
         if (!options.hint.empty()) {
             copt.hint.assign(coarse.graph.numVertices(), -1);
             for (int cv = 0; cv < coarse.graph.numVertices(); ++cv) {
@@ -711,6 +751,7 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
                  ilp::toString(sol.status));
             coarse_part = warm;
         }
+        out.interrupted = out.solverStats.interrupted;
 
         out.partition.deviceOf.assign(g.numVertices(), 0);
         for (int cv = 0; cv < coarse.graph.numVertices(); ++cv) {
@@ -731,6 +772,10 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
                      "channels (%d > %d)", d, ch[d],
                      options.channelsPerDevice);
                 out.feasible = false;
+                out.status = Status::infeasible(
+                    "partition oversubscribes device %d memory "
+                    "channels (%d > %d)",
+                    d, ch[d], options.channelsPerDevice);
                 out.partition.deviceOf.clear();
                 return out;
             }
@@ -746,6 +791,9 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
         warn("no threshold-feasible %d-device partition found for '%s'",
              f, g.name().c_str());
         out.feasible = false;
+        out.status = Status::infeasible(
+            "no threshold-feasible %d-device partition found for '%s'",
+            f, g.name().c_str());
         out.partition.deviceOf.clear();
         return out;
     }

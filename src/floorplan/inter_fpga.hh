@@ -23,6 +23,8 @@
 #ifndef TAPACS_FLOORPLAN_INTER_FPGA_HH
 #define TAPACS_FLOORPLAN_INTER_FPGA_HH
 
+#include "common/context.hh"
+#include "common/status.hh"
 #include "floorplan/partition.hh"
 #include "ilp/solver.hh"
 
@@ -34,6 +36,14 @@ struct InterFpgaOptions
 {
     /** Utilization threshold T of eq. 1. */
     double threshold = 0.70;
+    /**
+     * Deadline/cancellation token. Forwarded into the coarse ILP's
+     * branch-and-bound (which returns its best incumbent when it
+     * fires) and polled between FM refinement passes. A context that
+     * is already done degrades the solve to the deterministic
+     * greedy + channel-repair path with no refinement.
+     */
+    Context ctx;
     /** Resources reserved per device (e.g. networking IPs). */
     ResourceVector reserved;
     /** Coarsen until at most this many vertices before the ILP. */
@@ -131,6 +141,14 @@ struct InterFpgaResult
     /** False when no threshold-feasible partition exists (the design
      *  needs more FPGAs); partition is then empty. */
     bool feasible = true;
+    /** Ok on success; InvalidInput for malformed options, Infeasible
+     *  when no threshold-feasible partition exists. A feasible result
+     *  produced under a fired deadline keeps status Ok and sets
+     *  interrupted instead. */
+    Status status;
+    /** True when the options' deadline/cancel token fired during the
+     *  solve (the partition is the best found under the budget). */
+    bool interrupted = false;
     DevicePartition partition;
     /** eq. 2 objective of the final partition. */
     double cost = 0.0;
@@ -152,8 +170,11 @@ struct InterFpgaResult
  *
  * Returns feasible = false when the design cannot fit the cluster
  * under the threshold (the paper's "requires more resources than
- * available on a single device" outcome); configuration errors
- * (negative budgets) still call fatal().
+ * available on a single device" outcome). Configuration errors
+ * (mismatched masks/hints, negative budgets) return feasible = false
+ * with an InvalidInput status instead of killing the process — this
+ * runs inside the compile service, where a bad request must never
+ * take down its neighbours.
  */
 InterFpgaResult floorplanInterFpga(const TaskGraph &g,
                                    const Cluster &cluster,

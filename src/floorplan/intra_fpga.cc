@@ -273,6 +273,13 @@ floorplanIntraFpga(const TaskGraph &g, const Cluster &cluster,
     IntraFpgaResult out;
     out.placement.slotOf.assign(g.numVertices(), SlotCoord{0, 0});
 
+    // Forward the request token into every bisection ILP; a fired
+    // token downgrades remaining cuts to the greedy side assignment
+    // (still threshold-aware), so a late deadline costs quality, not
+    // liveness.
+    IntraFpgaOptions opts = options;
+    opts.solver.ctx = options.ctx;
+
     // Devices are independent bisection problems: each one reads only
     // the level-1 partition and writes only its own vertices' slots,
     // so the outer loop parallelizes without any synchronization. The
@@ -281,6 +288,7 @@ floorplanIntraFpga(const TaskGraph &g, const Cluster &cluster,
     struct DeviceOutcome
     {
         bool allOptimal = true;
+        bool interrupted = false;
         ilp::SolverStats stats;
     };
     const int num_devices = cluster.numDevices();
@@ -377,15 +385,17 @@ floorplanIntraFpga(const TaskGraph &g, const Cluster &cluster,
                 std::vector<int> side =
                     greedyCut(g, active, activeIndex, pull, budgetA,
                               budgetB, step);
-                if (options.useIlp) {
+                if (options.useIlp && !opts.ctx.done()) {
                     bool optimal = false;
                     side = ilpCut(g, active, activeIndex, pull, budgetA,
-                                  budgetB, step, options, side, &optimal,
+                                  budgetB, step, opts, side, &optimal,
                                   &outcome.stats);
                     if (!optimal)
                         outcome.allOptimal = false;
                 } else {
                     outcome.allOptimal = false;
+                    if (options.useIlp)
+                        outcome.interrupted = true;
                 }
                 for (size_t i = 0; i < active.size(); ++i) {
                     state.regionOf[localOf[active[i]]] =
@@ -423,8 +433,10 @@ floorplanIntraFpga(const TaskGraph &g, const Cluster &cluster,
     out.solverStats.provenOptimal = true; // identity for merge()
     for (const DeviceOutcome &outcome : outcomes) {
         out.allIlpOptimal = out.allIlpOptimal && outcome.allOptimal;
+        out.interrupted = out.interrupted || outcome.interrupted;
         out.solverStats.merge(outcome.stats);
     }
+    out.interrupted = out.interrupted || out.solverStats.interrupted;
     out.solverStats.threadsUsed =
         std::max(out.solverStats.threadsUsed, threads);
 

@@ -17,6 +17,7 @@
 #ifndef TAPACS_FLOORPLAN_INTRA_FPGA_HH
 #define TAPACS_FLOORPLAN_INTRA_FPGA_HH
 
+#include "common/context.hh"
 #include "floorplan/partition.hh"
 #include "ilp/solver.hh"
 
@@ -28,6 +29,13 @@ struct IntraFpgaOptions
 {
     /** Per-slot utilization threshold. */
     double threshold = 0.70;
+    /**
+     * Deadline/cancellation token, forwarded into every bisection
+     * ILP. When it fires, remaining cuts fall back to the greedy side
+     * assignment (fast and deterministic) instead of branching — the
+     * placement is always completed.
+     */
+    Context ctx;
     /** Resources reserved per device (networking IPs), spread evenly
      *  over the slots. */
     ResourceVector reserved;
@@ -77,6 +85,9 @@ struct IntraFpgaResult
     double elapsedSeconds = 0.0;
     /** True if every bisection ILP was solved to proven optimality. */
     bool allIlpOptimal = true;
+    /** True when the options' deadline/cancel token fired during the
+     *  solve and at least one cut degraded to the greedy assignment. */
+    bool interrupted = false;
     /** Aggregate solver effort over every bisection ILP of every
      *  device (wallSeconds sums solver time across devices, so it can
      *  exceed elapsedSeconds when devices run concurrently). */

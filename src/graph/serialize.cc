@@ -30,8 +30,8 @@ serializeTaskGraph(const TaskGraph &g)
     return out;
 }
 
-TaskGraph
-parseTaskGraph(const std::string &text)
+Status
+tryParseTaskGraph(const std::string &text, TaskGraph *out)
 {
     TaskGraph g;
     std::istringstream in(text);
@@ -57,8 +57,9 @@ parseTaskGraph(const std::string &text)
                 v.work.memPortWidthBits >> v.work.memChannels >>
                 v.work.numBlocks;
             if (ls.fail())
-                fatal("task-graph parse error at line %d: bad vertex",
-                      lineno);
+                return Status::invalidInput(
+                    "task-graph parse error at line %d: bad vertex",
+                    lineno);
             v.area = ResourceVector(lut, ff, bram, dsp, uram);
             g.addVertex(std::move(v));
         } else if (kind == "edge") {
@@ -66,20 +67,41 @@ parseTaskGraph(const std::string &text)
             double bytes;
             ls >> src >> dst >> width >> bytes >> depth >> init;
             if (ls.fail())
-                fatal("task-graph parse error at line %d: bad edge",
-                      lineno);
+                return Status::invalidInput(
+                    "task-graph parse error at line %d: bad edge",
+                    lineno);
             if (src < 0 || src >= g.numVertices() || dst < 0 ||
                 dst >= g.numVertices()) {
-                fatal("task-graph parse error at line %d: edge refers "
-                      "to missing vertex", lineno);
+                return Status::invalidInput(
+                    "task-graph parse error at line %d: edge refers "
+                    "to missing vertex",
+                    lineno);
             }
+            if (width <= 0 || depth < 1 || bytes < 0.0)
+                return Status::invalidInput(
+                    "task-graph parse error at line %d: bad edge "
+                    "parameters",
+                    lineno);
             const EdgeId e = g.addEdge(src, dst, width, bytes, depth);
             g.edge(e).initialTokens = init;
         } else {
-            fatal("task-graph parse error at line %d: unknown record "
-                  "'%s'", lineno, kind.c_str());
+            return Status::invalidInput(
+                "task-graph parse error at line %d: unknown record "
+                "'%s'",
+                lineno, kind.c_str());
         }
     }
+    *out = std::move(g);
+    return Status();
+}
+
+TaskGraph
+parseTaskGraph(const std::string &text)
+{
+    TaskGraph g;
+    const Status st = tryParseTaskGraph(text, &g);
+    if (!st.ok())
+        fatal("%s", st.message().c_str());
     return g;
 }
 

@@ -16,6 +16,7 @@
 
 #include <string>
 
+#include "common/status.hh"
 #include "graph/task_graph.hh"
 
 namespace tapacs
@@ -25,10 +26,18 @@ namespace tapacs
 std::string serializeTaskGraph(const TaskGraph &g);
 
 /**
+ * Parse a graph from the line format without ever killing the
+ * process: malformed input returns InvalidInput with a line number
+ * and leaves @p out untouched. This is the entry point the compile
+ * service uses for graph= requests.
+ */
+Status tryParseTaskGraph(const std::string &text, TaskGraph *out);
+
+/**
  * Parse a graph back from the line format.
  *
- * Calls fatal() with a line number on malformed input (the input is
- * user data).
+ * Calls fatal() with a line number on malformed input (tool-main
+ * convenience wrapper around tryParseTaskGraph).
  */
 TaskGraph parseTaskGraph(const std::string &text);
 

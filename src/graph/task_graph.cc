@@ -116,41 +116,58 @@ TaskGraph::totalTrafficBytes() const
     return total;
 }
 
-void
-TaskGraph::validate() const
+Status
+TaskGraph::validateStatus() const
 {
     std::set<std::string> names;
     for (VertexId v = 0; v < numVertices(); ++v) {
         const Vertex &vert = vertices_[v];
         if (vert.name.empty())
-            fatal("task graph '%s': vertex %d has an empty name",
-                  name_.c_str(), v);
+            return Status::invalidInput(
+                "task graph '%s': vertex %d has an empty name",
+                name_.c_str(), v);
         if (!names.insert(vert.name).second)
-            fatal("task graph '%s': duplicate task name '%s'",
-                  name_.c_str(), vert.name.c_str());
+            return Status::invalidInput(
+                "task graph '%s': duplicate task name '%s'",
+                name_.c_str(), vert.name.c_str());
         if (vert.work.numBlocks < 1)
-            fatal("task '%s': numBlocks must be >= 1", vert.name.c_str());
+            return Status::invalidInput(
+                "task '%s': numBlocks must be >= 1", vert.name.c_str());
         if (vert.work.opsPerCycle <= 0.0)
-            fatal("task '%s': opsPerCycle must be positive",
-                  vert.name.c_str());
+            return Status::invalidInput(
+                "task '%s': opsPerCycle must be positive",
+                vert.name.c_str());
     }
     for (EdgeId e = 0; e < numEdges(); ++e) {
         const Edge &edge = edges_[e];
         if (edge.src < 0 || edge.src >= numVertices() || edge.dst < 0 ||
             edge.dst >= numVertices()) {
-            fatal("task graph '%s': edge %d references missing vertex",
-                  name_.c_str(), e);
+            return Status::invalidInput(
+                "task graph '%s': edge %d references missing vertex",
+                name_.c_str(), e);
         }
         if (edge.widthBits <= 0)
-            fatal("task graph '%s': edge %d has non-positive width",
-                  name_.c_str(), e);
+            return Status::invalidInput(
+                "task graph '%s': edge %d has non-positive width",
+                name_.c_str(), e);
         if (edge.depth < 1)
-            fatal("task graph '%s': edge %d has depth < 1",
-                  name_.c_str(), e);
+            return Status::invalidInput(
+                "task graph '%s': edge %d has depth < 1",
+                name_.c_str(), e);
         if (edge.totalBytes < 0.0)
-            fatal("task graph '%s': edge %d has negative traffic",
-                  name_.c_str(), e);
+            return Status::invalidInput(
+                "task graph '%s': edge %d has negative traffic",
+                name_.c_str(), e);
     }
+    return Status();
+}
+
+void
+TaskGraph::validate() const
+{
+    const Status st = validateStatus();
+    if (!st.ok())
+        fatal("%s", st.message().c_str());
 }
 
 std::string

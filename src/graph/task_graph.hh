@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "common/units.hh"
 #include "device/resources.hh"
 
@@ -134,8 +135,15 @@ class TaskGraph
 
     /**
      * Structural validation: ids in range, names unique and
-     * non-empty, widths positive. Calls fatal() with a description
-     * on violation (user-constructed graphs are user input).
+     * non-empty, widths positive. Returns Ok or InvalidInput with a
+     * description — the form library code (the compile service) uses
+     * so a malformed request cannot take down the process.
+     */
+    Status validateStatus() const;
+
+    /**
+     * Structural validation for tool mains: calls fatal() with the
+     * validateStatus() description on violation.
      */
     void validate() const;
 

@@ -86,6 +86,11 @@ iterate(Tableau &t, const SimplexOptions &opt, int max_iters, int &pivots)
     bool bland = false;
     int degenerate_streak = 0;
     for (int iter = 0; iter < max_iters; ++iter) {
+        // Cooperative deadline/cancel poll. Every 64 pivots keeps the
+        // clock read off the hot path while still bounding how long a
+        // cancelled request can sit inside one LP.
+        if ((iter & 63) == 0 && opt.ctx.done())
+            return SolveStatus::LimitReached;
         // Pricing: pick entering column with negative reduced cost.
         int pc = -1;
         if (!bland) {

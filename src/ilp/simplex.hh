@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "common/context.hh"
 #include "ilp/model.hh"
 
 namespace tapacs::ilp
@@ -31,6 +32,13 @@ struct SimplexOptions
     double tol = 1e-7;
     /** Hard cap on simplex pivots per phase (0 = auto from size). */
     int maxIterations = 0;
+    /**
+     * Deadline/cancellation token, polled every few dozen pivots.
+     * When it fires the solve unwinds with SolveStatus::LimitReached,
+     * which branch-and-bound already treats as "not proven" — the
+     * search keeps its best incumbent. Default: never fires.
+     */
+    Context ctx;
 };
 
 /** Result of an LP relaxation solve. */

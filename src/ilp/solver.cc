@@ -88,6 +88,7 @@ struct SharedSearch
     std::atomic<std::int64_t> incumbentUpdates{0};
     std::atomic<bool> cleanly{true};
     std::atomic<bool> rootUnbounded{false};
+    std::atomic<bool> interrupted{false};
 
     std::atomic<double> incumbent{
         std::numeric_limits<double>::infinity()};
@@ -119,6 +120,11 @@ struct SharedSearch
     bool
     reserveNode()
     {
+        if (opt.ctx.done()) {
+            interrupted.store(true, std::memory_order_relaxed);
+            requestStop(false);
+            return false;
+        }
         std::int64_t id = nodesExplored.load(std::memory_order_relaxed);
         for (;;) {
             if (id >= opt.maxNodes) {
@@ -341,6 +347,7 @@ SolverStats::merge(const SolverStats &other)
     incumbentUpdates += other.incumbentUpdates;
     wallSeconds += other.wallSeconds;
     provenOptimal = provenOptimal && other.provenOptimal;
+    interrupted = interrupted || other.interrupted;
     threadsUsed = std::max(threadsUsed, other.threadsUsed);
 }
 
@@ -354,6 +361,9 @@ BranchBoundSolver::solve(const Model &model,
                          const std::vector<double> &warmStart)
 {
     obs::TraceSpan span("ilp", "ilp.solve");
+    // The node LPs poll the same token the node loop does, so a
+    // cancelled request unwinds from inside a pivot loop too.
+    options_.lp.ctx = options_.ctx;
     int threads = options_.numThreads;
     if (threads <= 0)
         threads = ThreadPool::defaultPool().size();
@@ -402,6 +412,11 @@ BranchBoundSolver::solveSerial(const Model &model,
     bool root_unbounded = false;
 
     while (!stack.empty()) {
+        if (options_.ctx.done()) {
+            stats_.interrupted = true;
+            exhausted_cleanly = false;
+            break;
+        }
         if (stats_.nodesExplored >= options_.maxNodes) {
             exhausted_cleanly = false;
             break;
@@ -550,6 +565,7 @@ BranchBoundSolver::solveParallel(const Model &model,
         sh.lpIterations.load(std::memory_order_relaxed);
     stats_.incumbentUpdates =
         sh.incumbentUpdates.load(std::memory_order_relaxed);
+    stats_.interrupted = sh.interrupted.load(std::memory_order_relaxed);
     stats_.wallSeconds = nowSeconds() - t_start;
     stats_.threadsUsed = threads;
 

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "common/context.hh"
 #include "ilp/model.hh"
 #include "ilp/simplex.hh"
 
@@ -42,7 +43,16 @@ struct SolverOptions
      * different tied-optimal assignment depending on timing.
      */
     int numThreads = 0;
-    /** LP options used at every node. */
+    /**
+     * Deadline/cancellation token. Polled once per node expansion (in
+     * every worker) and inside each node's simplex loop; when it fires
+     * the search drains cooperatively and returns the best incumbent
+     * found so far, exactly like hitting maxNodes/timeLimitSeconds.
+     * SolverStats::interrupted records that it fired. Default: never.
+     */
+    Context ctx;
+    /** LP options used at every node (ctx is forwarded into it for
+     *  the duration of each solve). */
     SimplexOptions lp;
 };
 
@@ -58,6 +68,9 @@ struct SolverStats
     std::int64_t incumbentUpdates = 0;
     double wallSeconds = 0.0;
     bool provenOptimal = false;
+    /** True when SolverOptions::ctx fired (deadline or cancellation)
+     *  and the search unwound early with its best incumbent. */
+    bool interrupted = false;
     /** Worker threads the search actually used. */
     int threadsUsed = 1;
 

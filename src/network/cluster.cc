@@ -76,17 +76,31 @@ Cluster::totalMemoryBandwidth() const
 Cluster
 makePaperTestbed(int numFpgas)
 {
+    Cluster out(makeU55C(), Topology(TopologyKind::Ring, 1), 1);
+    const Status st = tryMakePaperTestbed(numFpgas, &out);
+    if (!st.ok())
+        fatal("%s", st.message().c_str());
+    return out;
+}
+
+Status
+tryMakePaperTestbed(int numFpgas, Cluster *out)
+{
     if (numFpgas < 1)
-        fatal("testbed requires at least one FPGA, got %d", numFpgas);
+        return Status::invalidInput(
+            "testbed requires at least one FPGA, got %d", numFpgas);
     if (numFpgas <= 4) {
-        return Cluster(makeU55C(), Topology(TopologyKind::Ring, numFpgas),
+        *out = Cluster(makeU55C(), Topology(TopologyKind::Ring, numFpgas),
                        /*numNodes=*/1);
+        return Status();
     }
     if (numFpgas % 4 != 0)
-        fatal("multi-node testbed requires a multiple of 4 FPGAs, got %d",
-              numFpgas);
-    return Cluster(makeU55C(), Topology(TopologyKind::Ring, 4),
+        return Status::invalidInput(
+            "multi-node testbed requires a multiple of 4 FPGAs, got %d",
+            numFpgas);
+    *out = Cluster(makeU55C(), Topology(TopologyKind::Ring, 4),
                    /*numNodes=*/numFpgas / 4);
+    return Status();
 }
 
 } // namespace tapacs

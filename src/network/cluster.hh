@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "common/status.hh"
 #include "device/device.hh"
 #include "network/link.hh"
 #include "network/topology.hh"
@@ -100,6 +101,13 @@ class Cluster
  * multiple of 4 (full nodes).
  */
 Cluster makePaperTestbed(int numFpgas);
+
+/**
+ * Validating form of makePaperTestbed for the compile service: an
+ * unsatisfiable card count returns InvalidInput instead of killing
+ * the process; on Ok, @p out holds the cluster.
+ */
+Status tryMakePaperTestbed(int numFpgas, Cluster *out);
 
 } // namespace tapacs
 

@@ -49,18 +49,58 @@ findCommProtocol(const std::string &name)
     return nullptr;
 }
 
+Status
+ReliableTransportConfig::validate() const
+{
+    if (maxRetries < 0)
+        return Status::invalidInput(
+            "ReliableTransport: maxRetries must be >= 0, got %d",
+            maxRetries);
+    if (ackTimeout < 0.0 || backoffBase < 0.0 ||
+        backoffCap < backoffBase) {
+        return Status::invalidInput(
+            "ReliableTransport: bad timing config (timeout %g, "
+            "backoff %g..%g)", ackTimeout, backoffBase, backoffCap);
+    }
+    if (backoffJitterFrac < 0.0)
+        return Status::invalidInput(
+            "ReliableTransport: backoffJitterFrac must be >= 0, got %g",
+            backoffJitterFrac);
+    return Status();
+}
+
+Seconds
+boundedBackoff(const ReliableTransportConfig &config, int attempt)
+{
+    const Seconds backoff = config.backoffBase *
+                            std::pow(2.0, std::min(attempt, 30));
+    return std::min(backoff, config.backoffCap);
+}
+
+StatusOr<ReliableTransport>
+ReliableTransport::create(ReliableTransportConfig config,
+                          const FaultInjector *injector)
+{
+    Status st = config.validate();
+    if (!st.ok())
+        return st;
+    return ReliableTransport(std::move(config), injector);
+}
+
 ReliableTransport::ReliableTransport(ReliableTransportConfig config,
                                      const FaultInjector *injector)
-    : config_(std::move(config)), injector_(injector)
+    : config_(std::move(config)), injector_(injector),
+      status_(config_.validate())
 {
-    if (config_.maxRetries < 0)
-        fatal("ReliableTransport: maxRetries must be >= 0, got %d",
-              config_.maxRetries);
-    if (config_.ackTimeout < 0.0 || config_.backoffBase < 0.0 ||
-        config_.backoffCap < config_.backoffBase) {
-        fatal("ReliableTransport: bad timing config (timeout %g, "
-              "backoff %g..%g)", config_.ackTimeout,
-              config_.backoffBase, config_.backoffCap);
+    if (!status_.ok()) {
+        warn("%s (sanitizing)", status_.message().c_str());
+        config_.maxRetries = std::max(config_.maxRetries, 0);
+        config_.ackTimeout = std::max(config_.ackTimeout, 0.0);
+        config_.backoffBase = std::max(config_.backoffBase, 0.0);
+        config_.backoffCap =
+            std::max(config_.backoffCap, config_.backoffBase);
+        config_.backoffJitterFrac =
+            std::max(config_.backoffJitterFrac, 0.0);
     }
 }
 
@@ -111,9 +151,7 @@ ReliableTransport::send(DeviceId a, DeviceId b, std::uint64_t messageId,
 
         // Loss detected by ack timeout; back off before retrying.
         ++out.timeouts;
-        Seconds backoff = config_.backoffBase *
-                          std::pow(2.0, std::min(attempt, 30));
-        backoff = std::min(backoff, config_.backoffCap);
+        Seconds backoff = boundedBackoff(config_, attempt);
         if (config_.backoffJitterFrac > 0.0 && injector_) {
             backoff *= 1.0 + config_.backoffJitterFrac *
                                  injector_->uniformDraw(a, b, messageId,

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "network/faults.hh"
 
 namespace tapacs
@@ -74,7 +75,23 @@ struct ReliableTransportConfig
      *  seed, decorrelating retry storms without wall-clock
      *  randomness. */
     double backoffJitterFrac = 0.25;
+
+    /**
+     * Ok when the policy is usable: maxRetries >= 0, all intervals
+     * non-negative, cap >= base, jitter fraction non-negative.
+     * InvalidInput otherwise.
+     */
+    Status validate() const;
 };
+
+/**
+ * The transport's backoff schedule as a pure function: interval to
+ * sit out after attempt @p attempt (0-based) fails, i.e.
+ * min(backoffBase * 2^attempt, backoffCap), before jitter. Shared
+ * with the compile-service retry policy so serving retries follow
+ * the same bounded-exponential curve as the wire protocol.
+ */
+Seconds boundedBackoff(const ReliableTransportConfig &config, int attempt);
 
 /** Outcome of one reliable message delivery. */
 struct TransferOutcome
@@ -111,8 +128,27 @@ class ReliableTransport
     /** Reserve the physical path: (earliest, duration) -> done time. */
     using AcquireFn = std::function<Seconds(Seconds, Seconds)>;
 
+    /**
+     * Validating factory: returns InvalidInput for a nonsense retry
+     * policy (negative retries, negative intervals, cap below base)
+     * instead of constructing a transport at all. Library code —
+     * anything reachable from a serving request — must use this.
+     */
+    static StatusOr<ReliableTransport>
+    create(ReliableTransportConfig config,
+           const FaultInjector *injector = nullptr);
+
+    /**
+     * Direct construction never kills the process: an invalid config
+     * is sanitized to the nearest usable policy and the rejection is
+     * recorded in status(), so legacy call sites keep working while
+     * the defect stays observable.
+     */
     explicit ReliableTransport(ReliableTransportConfig config,
                                const FaultInjector *injector = nullptr);
+
+    /** Ok, or InvalidInput when the constructor sanitized the config. */
+    const Status &status() const { return status_; }
 
     /**
      * Deliver one message from @p a to @p b.
@@ -143,6 +179,7 @@ class ReliableTransport
   private:
     ReliableTransportConfig config_;
     const FaultInjector *injector_;
+    Status status_;
     std::int64_t totalRetries_ = 0;
     std::int64_t totalTimeouts_ = 0;
     std::int64_t totalLinkDownWaits_ = 0;

@@ -1,0 +1,229 @@
+#include "serve/manifest.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace tapacs::serve
+{
+
+namespace
+{
+
+/** Strict integer parse: the whole token must be a number inside
+ *  [lo, hi]; anything else (empty, trailing junk, overflow) fails. */
+bool
+parseInt(const std::string &text, std::int64_t lo, std::int64_t hi,
+         std::int64_t *out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return false;
+    if (v < lo || v > hi)
+        return false;
+    *out = v;
+    return true;
+}
+
+/** Strict finite-double parse inside [lo, hi]. */
+bool
+parseDouble(const std::string &text, double lo, double hi, double *out)
+{
+    if (text.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (errno == ERANGE || end != text.c_str() + text.size())
+        return false;
+    if (!(v >= lo && v <= hi)) // NaN fails too
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+knownWorkload(const std::string &name)
+{
+    return name == "stencil" || name == "pagerank" || name == "knn" ||
+           name == "cnn";
+}
+
+} // namespace
+
+Status
+parseTopologyName(const std::string &name, TopologyKind *out)
+{
+    if (name == "chain")
+        *out = TopologyKind::Chain;
+    else if (name == "ring")
+        *out = TopologyKind::Ring;
+    else if (name == "star")
+        *out = TopologyKind::Star;
+    else if (name == "mesh")
+        *out = TopologyKind::Mesh2D;
+    else if (name == "hypercube")
+        *out = TopologyKind::Hypercube;
+    else if (name == "full")
+        *out = TopologyKind::FullyConnected;
+    else
+        return Status::invalidInput("unknown topology '%s'",
+                                    name.c_str());
+    return Status();
+}
+
+Status
+parseModeName(const std::string &name, CompileMode *out)
+{
+    if (name == "vitis")
+        *out = CompileMode::VitisBaseline;
+    else if (name == "tapa")
+        *out = CompileMode::TapaSingle;
+    else if (name == "tapacs")
+        *out = CompileMode::TapaCs;
+    else
+        return Status::invalidInput("unknown mode '%s'", name.c_str());
+    return Status();
+}
+
+ParsedManifest
+parseManifest(const std::string &text)
+{
+    ParsedManifest out;
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+
+    auto reject = [&](const std::string &message) {
+        out.diagnostics.push_back({lineno, message});
+    };
+
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream tokens(line);
+        std::string word;
+        if (!(tokens >> word))
+            continue;
+        if (word != "request") {
+            reject(strprintf("expected 'request', got '%s'",
+                             word.c_str()));
+            continue;
+        }
+        Request req;
+        if (!(tokens >> req.name)) {
+            reject("request needs a name");
+            continue;
+        }
+        bool bad = false;
+        while (!bad && tokens >> word) {
+            const std::size_t eq = word.find('=');
+            if (eq == std::string::npos) {
+                reject(strprintf("expected key=value, got '%s'",
+                                 word.c_str()));
+                bad = true;
+                break;
+            }
+            const std::string key = word.substr(0, eq);
+            const std::string value = word.substr(eq + 1);
+            std::int64_t n = 0;
+            double x = 0.0;
+            if (key == "workload") {
+                if (!knownWorkload(value)) {
+                    reject(strprintf("unknown workload '%s' (want "
+                                     "stencil|pagerank|knn|cnn)",
+                                     value.c_str()));
+                    bad = true;
+                } else {
+                    req.workload = value;
+                }
+            } else if (key == "graph") {
+                if (value.empty()) {
+                    reject("graph= needs a file name");
+                    bad = true;
+                } else {
+                    req.graphFile = value;
+                }
+            } else if (key == "fpgas") {
+                if (!parseInt(value, 1, 256, &n)) {
+                    reject(strprintf("fpgas must be an integer in "
+                                     "[1, 256], got '%s'",
+                                     value.c_str()));
+                    bad = true;
+                } else {
+                    req.fpgas = static_cast<int>(n);
+                }
+            } else if (key == "mode") {
+                const Status st = parseModeName(value, &req.mode);
+                if (!st.ok()) {
+                    reject(st.message());
+                    bad = true;
+                }
+            } else if (key == "topology") {
+                const Status st =
+                    parseTopologyName(value, &req.topology);
+                if (!st.ok()) {
+                    reject(st.message());
+                    bad = true;
+                }
+            } else if (key == "threshold") {
+                if (!parseDouble(value, 1.0e-6, 1.0, &x)) {
+                    reject(strprintf("threshold must be in (0, 1], "
+                                     "got '%s'",
+                                     value.c_str()));
+                    bad = true;
+                } else {
+                    req.threshold = x;
+                }
+            } else if (key == "scale") {
+                if (!parseInt(value, 0, 1'000'000'000'000LL, &n)) {
+                    reject(strprintf("scale must be an integer in "
+                                     "[0, 1e12], got '%s'",
+                                     value.c_str()));
+                    bad = true;
+                } else {
+                    req.scale = n;
+                }
+            } else if (key == "repeat") {
+                if (!parseInt(value, 1, 10'000, &n)) {
+                    reject(strprintf("repeat must be an integer in "
+                                     "[1, 10000], got '%s'",
+                                     value.c_str()));
+                    bad = true;
+                } else {
+                    req.repeat = static_cast<int>(n);
+                }
+            } else if (key == "deadline_ms") {
+                if (!parseDouble(value, -1.0, 1.0e9, &x)) {
+                    reject(strprintf("deadline_ms must be in "
+                                     "[-1, 1e9], got '%s'",
+                                     value.c_str()));
+                    bad = true;
+                } else {
+                    req.deadlineMs = x;
+                }
+            } else {
+                reject(strprintf("unknown key '%s'", key.c_str()));
+                bad = true;
+            }
+        }
+        if (bad)
+            continue;
+        if (req.workload.empty() == req.graphFile.empty()) {
+            reject(strprintf("request '%s' needs exactly one of "
+                             "workload= or graph=",
+                             req.name.c_str()));
+            continue;
+        }
+        out.requests.push_back(std::move(req));
+    }
+    return out;
+}
+
+} // namespace tapacs::serve

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Hardened manifest parsing for the batch compile service.
+ *
+ * The manifest is untrusted input: a serving process reads whatever a
+ * tenant submitted, so the parser must survive any byte sequence —
+ * truncated lines, non-numeric values, overflowing numbers, unknown
+ * keys — and turn each malformed line into a diagnostic instead of a
+ * crash or a process kill. Well-formed lines around a bad one still
+ * parse; the caller decides whether diagnostics are fatal.
+ *
+ * Format (one request per line, '#' starts a comment):
+ *
+ *   request NAME workload=stencil|pagerank|knn|cnn [key=value...]
+ *   request NAME graph=FILE [key=value...]
+ *
+ * keys: fpgas=N        devices to target (1..256, default 2)
+ *       mode=vitis|tapa|tapacs
+ *       topology=chain|ring|star|mesh|hypercube|full
+ *       threshold=X    eq. 1 threshold in (0, 1] (default 0.70)
+ *       scale=N        workload size knob (0 = harness default)
+ *       repeat=N       enqueue N copies (1..10000)
+ *       deadline_ms=N  per-request deadline; 0 = already expired
+ *                      (forces the deterministic degraded path),
+ *                      negative = inherit the service default
+ */
+
+#ifndef TAPACS_SERVE_MANIFEST_HH
+#define TAPACS_SERVE_MANIFEST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "compiler/compiler.hh"
+#include "network/topology.hh"
+
+namespace tapacs::serve
+{
+
+/** One compile request, as admitted from a manifest line. */
+struct Request
+{
+    std::string name;
+    /** Builtin app name, or empty when graphFile is set. */
+    std::string workload;
+    std::string graphFile;
+    int fpgas = 2;
+    CompileMode mode = CompileMode::TapaCs;
+    TopologyKind topology = TopologyKind::Ring;
+    double threshold = 0.70;
+    std::int64_t scale = 0;
+    int repeat = 1;
+    /** Milliseconds; < 0 = inherit the service default, 0 = already
+     *  expired (deterministic degraded path), > 0 = that budget. */
+    double deadlineMs = -1.0;
+};
+
+/** One rejected manifest line. */
+struct ManifestDiagnostic
+{
+    int line = 0;
+    std::string message;
+};
+
+/** Everything one parse produced. */
+struct ParsedManifest
+{
+    std::vector<Request> requests;
+    std::vector<ManifestDiagnostic> diagnostics;
+
+    bool clean() const { return diagnostics.empty(); }
+};
+
+/**
+ * Parse manifest text. Total: every line either contributes a
+ * Request or a ManifestDiagnostic; no input crashes, loops, or calls
+ * fatal(). Validation is strict — numbers must parse completely and
+ * sit inside the documented ranges, exactly one of workload=/graph=
+ * must be present, workload names must be known — so a Request that
+ * comes back is always safe to hand to the compile flow.
+ */
+ParsedManifest parseManifest(const std::string &text);
+
+/** Lookup helpers shared with the CLI; Ok + *out on success,
+ *  InvalidInput naming the bad value otherwise. */
+Status parseTopologyName(const std::string &name, TopologyKind *out);
+Status parseModeName(const std::string &name, CompileMode *out);
+
+} // namespace tapacs::serve
+
+#endif // TAPACS_SERVE_MANIFEST_HH

@@ -1,0 +1,378 @@
+#include "serve/service.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <climits>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "apps/cnn.hh"
+#include "apps/knn.hh"
+#include "apps/pagerank.hh"
+#include "apps/stencil.hh"
+#include "cache/compile_cache.hh"
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "graph/serialize.hh"
+#include "network/cluster.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace tapacs::serve
+{
+
+namespace
+{
+
+/** Cap on graph= file size: an adversarial request must not be able
+ *  to balloon the serving process. */
+constexpr std::streamoff kMaxGraphFileBytes = 64LL << 20;
+
+Status
+readFileBounded(const std::string &path, std::string *out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Status::invalidInput("cannot open '%s'", path.c_str());
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size < 0)
+        return Status::invalidInput("cannot size '%s'", path.c_str());
+    if (size > kMaxGraphFileBytes)
+        return Status::invalidInput(
+            "graph file '%s' is %lld bytes (limit %lld)", path.c_str(),
+            static_cast<long long>(size),
+            static_cast<long long>(kMaxGraphFileBytes));
+    in.seekg(0, std::ios::beg);
+    std::ostringstream body;
+    body << in.rdbuf();
+    *out = body.str();
+    return Status();
+}
+
+/** Build a builtin workload at the request's scale (0 = the same
+ *  small configurations the golden harness pins). */
+Status
+buildWorkload(const Request &req, apps::AppDesign *out)
+{
+    const std::int64_t scale =
+        std::min<std::int64_t>(req.scale, INT_MAX);
+    if (req.workload == "stencil") {
+        const int iters = scale > 0 ? static_cast<int>(scale) : 64;
+        *out = apps::buildStencil(
+            apps::StencilConfig::scaled(iters, req.fpgas));
+    } else if (req.workload == "pagerank") {
+        *out = apps::buildPageRank(apps::PageRankConfig::scaled(
+            apps::pagerankDatasets()[0], req.fpgas));
+    } else if (req.workload == "knn") {
+        const std::int64_t n = req.scale > 0 ? req.scale : 1'000'000;
+        *out = apps::buildKnn(apps::KnnConfig::scaled(n, 2, req.fpgas));
+    } else if (req.workload == "cnn") {
+        apps::CnnConfig cnn;
+        cnn.rows = 4;
+        cnn.cols = 4;
+        cnn.numFpgas = req.fpgas;
+        cnn.batch = 4;
+        cnn.numBlocks = 8;
+        *out = apps::buildCnn(cnn);
+    } else {
+        return Status::invalidInput(
+            "unknown workload '%s' (want stencil|pagerank|knn|cnn)",
+            req.workload.c_str());
+    }
+    return Status();
+}
+
+} // namespace
+
+CompileService::CompileService(const ServeOptions &options)
+    : options_(options)
+{
+    const int threads = options_.threads > 0
+                            ? options_.threads
+                            : ThreadPool::defaultThreadCount();
+    workers_.reserve(threads);
+    for (int t = 0; t < threads; ++t)
+        workers_.emplace_back([this]() { workerLoop(); });
+    watchdog_ = std::thread([this]() { watchdogLoop(); });
+}
+
+CompileService::~CompileService()
+{
+    finish();
+}
+
+Status
+CompileService::submit(Request req)
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_)
+        return Status::internal("submit() after finish()");
+    if (options_.maxQueue > 0 &&
+        static_cast<int>(queue_.size()) >= options_.maxQueue) {
+        if (options_.blockOnFull) {
+            spaceCv_.wait(lock, [&]() {
+                return static_cast<int>(queue_.size()) <
+                       options_.maxQueue;
+            });
+        } else {
+            reg.counter("tapacs.serve.rejected").add();
+            return Status::resourceExhausted(
+                "queue full (%d waiting): request '%s' shed",
+                options_.maxQueue, req.name.c_str());
+        }
+    }
+    const std::size_t idx = requests_.size();
+    requests_.push_back(std::move(req));
+    outcomes_.emplace_back();
+    queue_.push_back(idx);
+    reg.counter("tapacs.serve.admitted").add();
+    queueCv_.notify_one();
+    return Status();
+}
+
+std::size_t
+CompileService::admitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return requests_.size();
+}
+
+std::vector<ServeOutcome>
+CompileService::finish()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (finished_)
+            return {};
+        finished_ = true;
+        closed_ = true;
+    }
+    queueCv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+    workers_.clear();
+    {
+        std::lock_guard<std::mutex> lock(inflightMutex_);
+        watchdogStop_ = true;
+    }
+    watchdogCv_.notify_all();
+    if (watchdog_.joinable())
+        watchdog_.join();
+    return std::move(outcomes_);
+}
+
+void
+CompileService::workerLoop()
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    while (true) {
+        std::size_t idx = 0;
+        bool shed = false;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            queueCv_.wait(lock, [&]() {
+                return closed_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // closed and drained
+            idx = queue_.front();
+            queue_.pop_front();
+            spaceCv_.notify_one();
+            if (breakerOpen_) {
+                ++shedSinceOpen_;
+                const int probe = options_.breakerProbeEvery;
+                shed = probe <= 0 || shedSinceOpen_ % probe != 0;
+            }
+        }
+
+        ServeOutcome out;
+        if (shed) {
+            out.name = requests_[idx].name;
+            out.attempts = 0;
+            out.status = Status::resourceExhausted(
+                "circuit breaker open: request '%s' shed",
+                out.name.c_str());
+            out.failureReason = out.status.message();
+            reg.counter("tapacs.serve.breaker_shed").add();
+        } else {
+            out = execute(requests_[idx]);
+        }
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        const bool failure = !out.status.ok();
+        outcomes_[idx] = std::move(out);
+        if (failure) {
+            ++consecutiveFailures_;
+            if (options_.breakerThreshold > 0 && !breakerOpen_ &&
+                consecutiveFailures_ >= options_.breakerThreshold) {
+                breakerOpen_ = true;
+                shedSinceOpen_ = 0;
+                reg.counter("tapacs.serve.breaker_open").add();
+            }
+        } else {
+            consecutiveFailures_ = 0;
+            breakerOpen_ = false; // success (or probe) closes it
+        }
+    }
+}
+
+void
+CompileService::watchdogLoop()
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    std::unique_lock<std::mutex> lock(inflightMutex_);
+    while (!watchdogStop_) {
+        watchdogCv_.wait_for(
+            lock,
+            std::chrono::duration<double>(
+                options_.watchdogPeriodSeconds),
+            [&]() { return watchdogStop_; });
+        if (watchdogStop_)
+            return;
+        for (const Context &ctx : inflight_) {
+            if (ctx.expired() && !ctx.cancelled()) {
+                // Cancel, never kill: the solve drains cooperatively
+                // with its best incumbent and still reports a typed
+                // (DeadlineExceeded — expiry outranks the cancel)
+                // outcome.
+                ctx.cancel();
+                reg.counter("tapacs.serve.watchdog_cancels").add();
+            }
+        }
+    }
+}
+
+ServeOutcome
+CompileService::runAttempt(const Request &req, const Context &ctx)
+{
+    using clock = std::chrono::steady_clock;
+    const auto t0 = clock::now();
+    obs::TraceSpan span("serve", "request." + req.name);
+
+    ServeOutcome out;
+    out.name = req.name;
+
+    CompileOptions opt;
+    opt.mode = req.mode;
+    opt.numFpgas = req.fpgas;
+    opt.topology = req.topology;
+    opt.threshold = req.threshold;
+    opt.cache = options_.cache;
+    opt.cacheWarmStart = options_.warmStart;
+    opt.ctx = ctx;
+
+    Cluster cluster(makeU55C(), Topology(TopologyKind::Ring, 1), 1);
+    Status st = tryMakePaperTestbed(req.fpgas, &cluster);
+    if (st.ok()) {
+        CompileResult result;
+        if (!req.graphFile.empty()) {
+            std::string text;
+            st = readFileBounded(req.graphFile, &text);
+            if (st.ok()) {
+                TaskGraph g;
+                st = tryParseTaskGraph(text, &g);
+                if (st.ok()) {
+                    out.tasks = g.numVertices();
+                    result = compile(g, cluster, opt);
+                }
+            }
+        } else {
+            apps::AppDesign design;
+            st = buildWorkload(req, &design);
+            if (st.ok()) {
+                out.tasks = design.graph.numVertices();
+                result = compileProgram(design.graph, design.tasks,
+                                        cluster, opt);
+            }
+        }
+        if (st.ok()) {
+            out.status = result.status;
+            if (!result.routable && out.status.ok())
+                out.status = Status::internal(
+                    "compile returned unroutable with no status");
+            out.routable = result.routable;
+            out.degraded = result.degraded;
+            out.degradedReason = result.degradedReason;
+            out.failureReason = result.failureReason;
+            out.fmax = result.fmax;
+            out.cutTrafficBytes = result.cutTrafficBytes;
+        }
+    }
+    if (!st.ok()) {
+        out.status = st;
+        out.failureReason = st.message();
+    }
+
+    out.seconds =
+        std::chrono::duration<double>(clock::now() - t0).count();
+    span.arg("seconds", out.seconds)
+        .arg("status", toString(out.status.code()))
+        .arg("routable", static_cast<std::int64_t>(out.routable))
+        .arg("degraded", static_cast<std::int64_t>(out.degraded));
+    obs::MetricsRegistry::global()
+        .histogram("tapacs.serve.request_seconds",
+                   {0.01, 0.1, 0.5, 1.0, 5.0, 30.0})
+        .observe(out.seconds);
+    return out;
+}
+
+ServeOutcome
+CompileService::execute(const Request &req)
+{
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    const double deadlineSeconds =
+        req.deadlineMs >= 0.0 ? req.deadlineMs / 1000.0
+                              : options_.defaultDeadlineSeconds;
+
+    ServeOutcome out;
+    double totalSeconds = 0.0;
+    bool deadlineFired = false;
+    const int maxAttempts = std::max(options_.maxRetries, 0) + 1;
+    for (int attempt = 0; attempt < maxAttempts; ++attempt) {
+        if (attempt > 0) {
+            reg.counter("tapacs.serve.retries").add();
+            const Seconds backoff =
+                boundedBackoff(options_.retryPolicy, attempt - 1);
+            if (backoff > 0.0)
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(backoff));
+        }
+
+        // Each attempt gets a fresh deadline slice; the watchdog
+        // observes the attempt for as long as it runs.
+        const Context ctx = deadlineSeconds < 0.0
+                                ? Context()
+                                : Context::withTimeout(deadlineSeconds);
+        std::list<Context>::iterator slot;
+        const bool watched = ctx.cancellable_token() && ctx.hasDeadline();
+        if (watched) {
+            std::lock_guard<std::mutex> lock(inflightMutex_);
+            slot = inflight_.insert(inflight_.end(), ctx);
+        }
+        out = runAttempt(req, ctx);
+        if (watched) {
+            std::lock_guard<std::mutex> lock(inflightMutex_);
+            inflight_.erase(slot);
+        }
+
+        totalSeconds += out.seconds;
+        out.attempts = attempt + 1;
+        deadlineFired = deadlineFired || ctx.expired();
+        const StatusCode code = out.status.code();
+        const bool retryable = code == StatusCode::DeadlineExceeded ||
+                               code == StatusCode::Internal;
+        if (out.status.ok() || !retryable)
+            break;
+    }
+    out.seconds = totalSeconds;
+    if (deadlineFired)
+        reg.counter("tapacs.serve.deadline_exceeded").add();
+    if (out.degraded)
+        reg.counter("tapacs.serve.degraded").add();
+    return out;
+}
+
+} // namespace tapacs::serve

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * CompileService: the admission-controlled, deadline-aware serving
+ * loop behind tapacs-batch.
+ *
+ * The service owns a bounded request queue drained by a fixed worker
+ * pool. Every stage produces a *typed* outcome — nothing reachable
+ * from a request may call fatal():
+ *
+ *  - Admission: a full queue sheds with ResourceExhausted (or blocks,
+ *    when backpressure is configured); an open circuit breaker sheds
+ *    at dispatch, letting a periodic probe through to test recovery.
+ *  - Execution: each attempt runs under a Context carrying the
+ *    request's deadline; the compile flow polls it cooperatively and
+ *    falls back ILP -> greedy, so an expired request still yields a
+ *    feasible degraded result whenever one exists.
+ *  - Watchdog: a scavenger thread cancels (never kills) the context
+ *    of any in-flight attempt past its deadline, bounding how long a
+ *    wedged solve can hold a worker.
+ *  - Retries: DeadlineExceeded/Internal outcomes are retried up to a
+ *    budget, sleeping the same bounded-exponential backoff curve the
+ *    reliable transport uses on the wire (network/protocols).
+ *
+ * Counters: tapacs.serve.{admitted,rejected,deadline_exceeded,
+ * degraded,breaker_open} plus retries/watchdog_cancels/breaker_shed;
+ * each request runs under a "serve" trace span.
+ */
+
+#ifndef TAPACS_SERVE_SERVICE_HH
+#define TAPACS_SERVE_SERVICE_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/context.hh"
+#include "common/status.hh"
+#include "common/units.hh"
+#include "network/protocols.hh"
+#include "serve/manifest.hh"
+
+namespace tapacs::cache
+{
+class CompileCache;
+} // namespace tapacs::cache
+
+namespace tapacs::serve
+{
+
+/** Service-wide policy. */
+struct ServeOptions
+{
+    /** Concurrent requests in flight (0 = the shared pool's size). */
+    int threads = 0;
+    /** Waiting-queue bound; 0 = unbounded. */
+    int maxQueue = 0;
+    /** With a full queue: true = submit() blocks until space
+     *  (backpressure), false = shed with ResourceExhausted. */
+    bool blockOnFull = false;
+    /** Per-attempt deadline for requests that do not carry their own
+     *  (Request::deadlineMs < 0): < 0 = none, 0 = already expired
+     *  (deterministic degraded path), > 0 = seconds of budget. */
+    double defaultDeadlineSeconds = -1.0;
+    /** Extra attempts after a retryable failure (DeadlineExceeded /
+     *  Internal). Each attempt gets a fresh deadline slice. */
+    int maxRetries = 0;
+    /**
+     * Backoff curve slept between attempts — the transport's own
+     * policy type, so serving retries and wire retransmissions follow
+     * the same bounded-exponential shape (boundedBackoff). Jitter is
+     * zeroed: serving sleeps must be deterministic.
+     */
+    ReliableTransportConfig retryPolicy = defaultRetryPolicy();
+    /** Consecutive failed requests that open the circuit breaker;
+     *  0 disables the breaker. */
+    int breakerThreshold = 0;
+    /** While open, every Nth shed candidate runs anyway as a probe;
+     *  a successful probe closes the breaker. */
+    int breakerProbeEvery = 8;
+    /** Watchdog scan period. */
+    double watchdogPeriodSeconds = 0.002;
+    /** Family warm-start hints (CompileOptions::cacheWarmStart). */
+    bool warmStart = false;
+    /** Shared compile cache; nullptr = uncached. */
+    cache::CompileCache *cache = nullptr;
+
+    static ReliableTransportConfig
+    defaultRetryPolicy()
+    {
+        ReliableTransportConfig c;
+        c.ackTimeout = 0.0;
+        c.maxRetries = 16;
+        c.backoffBase = 5.0e-3;
+        c.backoffCap = 0.25;
+        c.backoffJitterFrac = 0.0;
+        return c;
+    }
+};
+
+/** Typed result of one admitted request. */
+struct ServeOutcome
+{
+    std::string name;
+    /** Ok whenever a result was produced — including degraded ones;
+     *  otherwise the typed reason (InvalidInput, Infeasible,
+     *  DeadlineExceeded, Cancelled, ResourceExhausted, Internal). */
+    Status status;
+    bool routable = false;
+    /** A deadline/cancel forced a fallback somewhere in the flow. */
+    bool degraded = false;
+    std::string degradedReason;
+    std::string failureReason;
+    int tasks = 0;
+    /** Attempts spent (1 = no retries). */
+    int attempts = 0;
+    /** Wall seconds across all attempts, excluding queue wait. */
+    double seconds = 0.0;
+    Hertz fmax = 0.0;
+    double cutTrafficBytes = 0.0;
+};
+
+/**
+ * The serving loop. Construct, submit() requests (workers start
+ * draining immediately), then finish() to close the queue and collect
+ * every admitted request's outcome in admission order. finish() is
+ * terminal; the destructor calls it if the caller did not.
+ */
+class CompileService
+{
+  public:
+    explicit CompileService(const ServeOptions &options);
+    ~CompileService();
+
+    CompileService(const CompileService &) = delete;
+    CompileService &operator=(const CompileService &) = delete;
+
+    /**
+     * Admission control. Ok = queued (an outcome will exist for it);
+     * ResourceExhausted = shed on a full queue. With blockOnFull the
+     * call instead waits for space and always admits.
+     */
+    Status submit(Request req);
+
+    /** Requests admitted so far. */
+    std::size_t admitted() const;
+
+    /** Close the queue, drain, join workers, return all outcomes. */
+    std::vector<ServeOutcome> finish();
+
+  private:
+    void workerLoop();
+    void watchdogLoop();
+    /** One attempt of one request under @p ctx. */
+    ServeOutcome runAttempt(const Request &req, const Context &ctx);
+    /** Full execution: deadline per attempt, retries, breaker vote. */
+    ServeOutcome execute(const Request &req);
+
+    ServeOptions options_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable queueCv_; ///< workers: work or closed
+    std::condition_variable spaceCv_; ///< producers: queue has space
+    std::deque<std::size_t> queue_;   ///< indices into requests_
+    /** Admission order. A deque so references stay valid while a
+     *  worker executes one entry and submit() appends more. */
+    std::deque<Request> requests_;
+    std::vector<ServeOutcome> outcomes_;
+    bool closed_ = false;
+
+    // Circuit breaker (guarded by mutex_).
+    int consecutiveFailures_ = 0;
+    bool breakerOpen_ = false;
+    std::size_t shedSinceOpen_ = 0;
+
+    // Watchdog registry of in-flight attempt contexts.
+    std::mutex inflightMutex_;
+    std::list<Context> inflight_;
+    std::condition_variable watchdogCv_;
+    bool watchdogStop_ = false;
+
+    std::vector<std::thread> workers_;
+    std::thread watchdog_;
+    bool finished_ = false;
+};
+
+} // namespace tapacs::serve
+
+#endif // TAPACS_SERVE_SERVICE_HH

@@ -163,15 +163,21 @@ TEST(Compiler, ResultFieldsConsistent)
     EXPECT_NEAR(sum[ResourceKind::Lut], total[ResourceKind::Lut], 1.0);
 }
 
-TEST(CompilerDeath, MoreFpgasThanClusterIsFatal)
+TEST(Compiler, MoreFpgasThanClusterIsInvalidInput)
 {
+    // Requesting more devices than the cluster holds is a malformed
+    // request: the serving flow must get a typed error back, never a
+    // dead process.
     apps::AppDesign app = smallDesign();
     Cluster cluster = makePaperTestbed(2);
     CompileOptions opt;
     opt.mode = CompileMode::TapaCs;
     opt.numFpgas = 4;
-    EXPECT_DEATH(compileProgram(app.graph, app.tasks, cluster, opt),
-                 "cluster has");
+    const CompileResult r =
+        compileProgram(app.graph, app.tasks, cluster, opt);
+    EXPECT_FALSE(r.routable);
+    EXPECT_EQ(r.status.code(), StatusCode::InvalidInput);
+    EXPECT_NE(r.status.message().find("cluster has"), std::string::npos);
 }
 
 } // namespace

@@ -548,14 +548,20 @@ TEST(Replan, AllDevicesDeadFailsGracefully)
     EXPECT_NE(r.failureReason.find("every device"), std::string::npos);
 }
 
-TEST(ReplanDeath, SingleFpgaModeRejected)
+TEST(Replan, SingleFpgaModeRejectedAsInvalidInput)
 {
+    // A single-FPGA flow has nothing to fail over to; since the
+    // compile service may issue replans, the rejection is a typed
+    // InvalidInput, not a process kill.
     TaskGraph g = replanDesign(31);
     Cluster cluster = makePaperTestbed(1);
     CompileOptions opt;
     opt.mode = CompileMode::TapaSingle;
     opt.numFpgas = 1;
-    EXPECT_DEATH(replan(g, cluster, opt, {0}), "multi-FPGA");
+    const CompileResult r = replan(g, cluster, opt, {0});
+    EXPECT_FALSE(r.routable);
+    EXPECT_EQ(r.status.code(), StatusCode::InvalidInput);
+    EXPECT_NE(r.status.message().find("multi-FPGA"), std::string::npos);
 }
 
 TEST(Replan, DeterministicAcrossWorkerThreadCounts)

@@ -1,81 +1,75 @@
 /**
  * @file
- * tapacs-batch — batch compile driver over one shared compile cache.
+ * tapacs-batch — batch compile driver over one shared compile cache,
+ * served through the admission-controlled CompileService.
  *
  * Reads a manifest of compile requests and drains them through the
- * shared thread pool, every request hitting the same content-addressed
- * CompileCache — the serving shape of a multi-tenant compile farm,
- * where near-duplicate requests (same design, re-submitted or slightly
- * retuned) dominate. After the drain the driver prints a per-request
- * table (wall seconds, clock, cut traffic) and the `tapacs.cache.*`
- * metrics so hit rates are visible at a glance.
+ * service's worker pool, every request hitting the same
+ * content-addressed CompileCache — the serving shape of a multi-tenant
+ * compile farm. The service layer adds the robustness contract: every
+ * request yields a *typed* outcome (ok / degraded / INVALID_INPUT /
+ * INFEASIBLE / DEADLINE_EXCEEDED / RESOURCE_EXHAUSTED / ...), malformed
+ * manifest lines become per-line diagnostics instead of a dead
+ * process, expired requests are cancelled cooperatively by a watchdog
+ * and still return their best degraded result, and an open circuit
+ * breaker sheds load. After the drain the driver prints a per-request
+ * table plus the `tapacs.cache.*` and `tapacs.serve.*` metrics.
  *
- * Manifest format (one request per line, '#' comments):
- *
- *   request NAME workload=stencil|pagerank|knn|cnn [key=value...]
- *   request NAME graph=FILE [key=value...]
- *
- * keys: fpgas=N (default 2)        devices to target
- *       mode=vitis|tapa|tapacs     flow (default tapacs)
- *       topology=chain|ring|...    wiring (default ring)
- *       threshold=X                eq. 1 threshold (default 0.70)
- *       scale=N                    workload size knob (stencil
- *                                  iterations / KNN points; 0 = the
- *                                  golden-harness default)
- *       repeat=N                   enqueue N copies (cache fodder)
+ * Manifest format: see serve/manifest.hh (request NAME key=value...,
+ * including per-request deadline_ms=N).
  *
  * Usage:
  *   tapacs-batch MANIFEST [--threads N] [--repeat N] [--warm-start]
- *                [--no-cache] [--cache-dir DIR]
+ *                [--no-cache] [--cache-dir DIR] [--deadline-ms N]
+ *                [--max-queue N] [--block-on-full] [--retries N]
+ *                [--breaker-threshold N] [--strict]
  *
- *   --threads N    concurrent requests (default: pool size)
- *   --repeat N     global multiplier on every request's repeat
- *   --warm-start   enable family warm-start hints (see
- *                  CompileOptions::cacheWarmStart; changes results on
- *                  near-miss requests, so off by default)
- *   --no-cache     drop the cache entirely (baseline timing)
- *   --cache-dir D  use a disk tier at D (same as TAPACS_CACHE_DIR)
+ *   --threads N           concurrent requests (default: pool size)
+ *   --repeat N            global multiplier on every request's repeat
+ *   --warm-start          enable family warm-start hints (see
+ *                         CompileOptions::cacheWarmStart; changes
+ *                         results on near-miss requests, off by
+ *                         default)
+ *   --no-cache            drop the cache entirely (baseline timing)
+ *   --cache-dir D         use a disk tier at D (TAPACS_CACHE_DIR)
+ *   --deadline-ms N       default per-attempt deadline for requests
+ *                         without their own deadline_ms=; 0 = already
+ *                         expired (deterministic degraded path),
+ *                         negative = none (the default)
+ *   --max-queue N         waiting-queue bound; submissions beyond it
+ *                         are shed with RESOURCE_EXHAUSTED (0 =
+ *                         unbounded)
+ *   --block-on-full       block submission instead of shedding
+ *                         (backpressure)
+ *   --retries N           extra attempts after DEADLINE_EXCEEDED /
+ *                         INTERNAL, with bounded exponential backoff
+ *   --breaker-threshold N consecutive failures that open the circuit
+ *                         breaker (0 = disabled)
+ *   --strict              exit 1 when any line was malformed or any
+ *                         request did not produce a routable result
+ *                         (default: exit 0 whenever every request got
+ *                         a typed outcome)
  */
 
 #include <cstdio>
-#include <cstring>
-#include <atomic>
 #include <chrono>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "apps/cnn.hh"
-#include "apps/knn.hh"
-#include "apps/pagerank.hh"
-#include "apps/stencil.hh"
 #include "cache/compile_cache.hh"
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "common/units.hh"
-#include "compiler/compiler.hh"
-#include "graph/serialize.hh"
 #include "obs/metrics.hh"
-#include "obs/trace.hh"
+#include "serve/manifest.hh"
+#include "serve/service.hh"
 
 using namespace tapacs;
 
 namespace
 {
-
-struct Request
-{
-    std::string name;
-    std::string workload; ///< builtin app name, or empty for graph=
-    std::string graphFile;
-    int fpgas = 2;
-    CompileMode mode = CompileMode::TapaCs;
-    TopologyKind topology = TopologyKind::Ring;
-    double threshold = 0.70;
-    std::int64_t scale = 0;
-    int repeat = 1;
-};
 
 struct CliOptions
 {
@@ -85,56 +79,24 @@ struct CliOptions
     bool warmStart = false;
     bool noCache = false;
     std::string cacheDir;
-};
-
-struct RequestOutcome
-{
-    bool routable = false;
-    std::string failureReason;
-    double seconds = 0.0;
-    Hertz fmax = 0.0;
-    double cutTrafficBytes = 0.0;
-    int tasks = 0;
+    double deadlineMs = -1.0;
+    int maxQueue = 0;
+    bool blockOnFull = false;
+    int retries = 0;
+    int breakerThreshold = 0;
+    bool strict = false;
 };
 
 [[noreturn]] void
 usage()
 {
-    std::fprintf(stderr,
-                 "usage: tapacs-batch MANIFEST [--threads N] "
-                 "[--repeat N] [--warm-start] [--no-cache] "
-                 "[--cache-dir DIR]\n");
+    std::fprintf(
+        stderr,
+        "usage: tapacs-batch MANIFEST [--threads N] [--repeat N] "
+        "[--warm-start] [--no-cache] [--cache-dir DIR] "
+        "[--deadline-ms N] [--max-queue N] [--block-on-full] "
+        "[--retries N] [--breaker-threshold N] [--strict]\n");
     std::exit(2);
-}
-
-TopologyKind
-parseTopology(const std::string &name)
-{
-    if (name == "chain")
-        return TopologyKind::Chain;
-    if (name == "ring")
-        return TopologyKind::Ring;
-    if (name == "star")
-        return TopologyKind::Star;
-    if (name == "mesh")
-        return TopologyKind::Mesh2D;
-    if (name == "hypercube")
-        return TopologyKind::Hypercube;
-    if (name == "full")
-        return TopologyKind::FullyConnected;
-    fatal("unknown topology '%s'", name.c_str());
-}
-
-CompileMode
-parseMode(const std::string &name)
-{
-    if (name == "vitis")
-        return CompileMode::VitisBaseline;
-    if (name == "tapa")
-        return CompileMode::TapaSingle;
-    if (name == "tapacs")
-        return CompileMode::TapaCs;
-    fatal("unknown mode '%s'", name.c_str());
 }
 
 CliOptions
@@ -158,6 +120,18 @@ parseArgs(int argc, char **argv)
             opt.noCache = true;
         else if (arg == "--cache-dir")
             opt.cacheDir = next();
+        else if (arg == "--deadline-ms")
+            opt.deadlineMs = std::atof(next().c_str());
+        else if (arg == "--max-queue")
+            opt.maxQueue = std::atoi(next().c_str());
+        else if (arg == "--block-on-full")
+            opt.blockOnFull = true;
+        else if (arg == "--retries")
+            opt.retries = std::atoi(next().c_str());
+        else if (arg == "--breaker-threshold")
+            opt.breakerThreshold = std::atoi(next().c_str());
+        else if (arg == "--strict")
+            opt.strict = true;
         else if (arg == "--help" || arg == "-h")
             usage();
         else if (!arg.empty() && arg[0] == '-') {
@@ -171,164 +145,19 @@ parseArgs(int argc, char **argv)
     }
     if (opt.manifest.empty())
         usage();
-    if (opt.repeat < 1)
-        fatal("--repeat must be >= 1");
+    if (opt.repeat < 1) {
+        std::fprintf(stderr, "--repeat must be >= 1\n");
+        std::exit(2);
+    }
     return opt;
 }
 
-std::vector<Request>
-parseManifest(const std::string &path)
+const char *
+statusLabel(const serve::ServeOutcome &o)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("cannot open manifest '%s'", path.c_str());
-    std::vector<Request> out;
-    std::string line;
-    int lineno = 0;
-    while (std::getline(in, line)) {
-        ++lineno;
-        const std::size_t hash = line.find('#');
-        if (hash != std::string::npos)
-            line.resize(hash);
-        std::istringstream tokens(line);
-        std::string word;
-        if (!(tokens >> word))
-            continue;
-        if (word != "request")
-            fatal("%s:%d: expected 'request', got '%s'", path.c_str(),
-                  lineno, word.c_str());
-        Request req;
-        if (!(tokens >> req.name))
-            fatal("%s:%d: request needs a name", path.c_str(), lineno);
-        while (tokens >> word) {
-            const std::size_t eq = word.find('=');
-            if (eq == std::string::npos)
-                fatal("%s:%d: expected key=value, got '%s'",
-                      path.c_str(), lineno, word.c_str());
-            const std::string key = word.substr(0, eq);
-            const std::string value = word.substr(eq + 1);
-            if (key == "workload")
-                req.workload = value;
-            else if (key == "graph")
-                req.graphFile = value;
-            else if (key == "fpgas")
-                req.fpgas = std::atoi(value.c_str());
-            else if (key == "mode")
-                req.mode = parseMode(value);
-            else if (key == "topology")
-                req.topology = parseTopology(value);
-            else if (key == "threshold")
-                req.threshold = std::atof(value.c_str());
-            else if (key == "scale")
-                req.scale = std::atoll(value.c_str());
-            else if (key == "repeat")
-                req.repeat = std::atoi(value.c_str());
-            else
-                fatal("%s:%d: unknown key '%s'", path.c_str(), lineno,
-                      key.c_str());
-        }
-        if (req.workload.empty() == req.graphFile.empty())
-            fatal("%s:%d: request '%s' needs exactly one of workload= "
-                  "or graph=",
-                  path.c_str(), lineno, req.name.c_str());
-        if (req.fpgas < 1 || req.repeat < 1)
-            fatal("%s:%d: fpgas and repeat must be >= 1", path.c_str(),
-                  lineno);
-        out.push_back(std::move(req));
-    }
-    if (out.empty())
-        fatal("manifest '%s' contains no requests", path.c_str());
-    return out;
-}
-
-/** Build a builtin workload at the request's scale (0 = the same
- *  small configurations the golden harness pins). */
-apps::AppDesign
-buildWorkload(const Request &req)
-{
-    if (req.workload == "stencil") {
-        const int iters = req.scale > 0 ? static_cast<int>(req.scale) : 64;
-        return apps::buildStencil(
-            apps::StencilConfig::scaled(iters, req.fpgas));
-    }
-    if (req.workload == "pagerank") {
-        return apps::buildPageRank(apps::PageRankConfig::scaled(
-            apps::pagerankDatasets()[0], req.fpgas));
-    }
-    if (req.workload == "knn") {
-        const std::int64_t n = req.scale > 0 ? req.scale : 1'000'000;
-        return apps::buildKnn(apps::KnnConfig::scaled(n, 2, req.fpgas));
-    }
-    if (req.workload == "cnn") {
-        apps::CnnConfig cnn;
-        cnn.rows = 4;
-        cnn.cols = 4;
-        cnn.numFpgas = req.fpgas;
-        cnn.batch = 4;
-        cnn.numBlocks = 8;
-        return apps::buildCnn(cnn);
-    }
-    fatal("unknown workload '%s' (want stencil|pagerank|knn|cnn)",
-          req.workload.c_str());
-}
-
-std::string
-readFile(const std::string &path)
-{
-    std::ifstream in(path);
-    if (!in)
-        fatal("cannot open '%s'", path.c_str());
-    std::ostringstream body;
-    body << in.rdbuf();
-    return body.str();
-}
-
-/** One request execution, end to end, on the calling thread. */
-RequestOutcome
-runRequest(const Request &req, cache::CompileCache *cc, bool warmStart)
-{
-    using clock = std::chrono::steady_clock;
-    const auto t0 = clock::now();
-    obs::TraceSpan span("batch", "request." + req.name);
-
-    CompileOptions opt;
-    opt.mode = req.mode;
-    opt.numFpgas = req.fpgas;
-    opt.topology = req.topology;
-    opt.threshold = req.threshold;
-    opt.cache = cc;
-    opt.cacheWarmStart = warmStart;
-
-    Cluster cluster = makePaperTestbed(req.fpgas);
-    CompileResult result;
-    int tasks = 0;
-    if (!req.graphFile.empty()) {
-        TaskGraph g = parseTaskGraph(readFile(req.graphFile));
-        g.validate();
-        tasks = g.numVertices();
-        result = compile(g, cluster, opt);
-    } else {
-        apps::AppDesign design = buildWorkload(req);
-        tasks = design.graph.numVertices();
-        result =
-            compileProgram(design.graph, design.tasks, cluster, opt);
-    }
-
-    RequestOutcome out;
-    out.routable = result.routable;
-    out.failureReason = result.failureReason;
-    out.fmax = result.fmax;
-    out.cutTrafficBytes = result.cutTrafficBytes;
-    out.tasks = tasks;
-    out.seconds =
-        std::chrono::duration<double>(clock::now() - t0).count();
-    span.arg("seconds", out.seconds)
-        .arg("routable", static_cast<std::int64_t>(out.routable));
-    obs::MetricsRegistry::global()
-        .histogram("tapacs.batch.request_seconds",
-                   {0.01, 0.1, 0.5, 1.0, 5.0, 30.0})
-        .observe(out.seconds);
-    return out;
+    if (o.status.ok())
+        return o.degraded ? "degraded" : "ok";
+    return toString(o.status.code());
 }
 
 } // namespace
@@ -337,14 +166,25 @@ int
 main(int argc, char **argv)
 {
     const CliOptions opt = parseArgs(argc, argv);
-    const std::vector<Request> manifest = parseManifest(opt.manifest);
 
-    // One flat execution list: per-request repeats x the global
-    // multiplier, in manifest order.
-    std::vector<const Request *> executions;
-    for (const Request &req : manifest) {
-        for (int r = 0; r < req.repeat * opt.repeat; ++r)
-            executions.push_back(&req);
+    std::ifstream in(opt.manifest);
+    if (!in) {
+        std::fprintf(stderr, "cannot open manifest '%s'\n",
+                     opt.manifest.c_str());
+        return 2;
+    }
+    std::ostringstream body;
+    body << in.rdbuf();
+    const serve::ParsedManifest manifest =
+        serve::parseManifest(body.str());
+    for (const serve::ManifestDiagnostic &d : manifest.diagnostics)
+        std::fprintf(stderr, "%s:%d: %s\n", opt.manifest.c_str(),
+                     d.line, d.message.c_str());
+    if (manifest.requests.empty()) {
+        std::fprintf(stderr,
+                     "manifest '%s' contains no usable requests\n",
+                     opt.manifest.c_str());
+        return opt.strict || manifest.diagnostics.empty() ? 2 : 0;
     }
 
     cache::CompileCache *cc = nullptr;
@@ -363,11 +203,29 @@ main(int argc, char **argv)
         }
     }
 
-    const int threads =
+    serve::ServeOptions sopt;
+    sopt.threads =
         opt.threads > 0 ? opt.threads : ThreadPool::defaultThreadCount();
+    sopt.maxQueue = opt.maxQueue;
+    sopt.blockOnFull = opt.blockOnFull;
+    sopt.defaultDeadlineSeconds =
+        opt.deadlineMs < 0.0 ? -1.0 : opt.deadlineMs / 1000.0;
+    sopt.maxRetries = opt.retries;
+    sopt.breakerThreshold = opt.breakerThreshold;
+    sopt.warmStart = opt.warmStart;
+    sopt.cache = cc;
+
+    // One flat execution list: per-request repeats x the global
+    // multiplier, in manifest order.
+    std::vector<serve::Request> executions;
+    for (const serve::Request &req : manifest.requests) {
+        for (int r = 0; r < req.repeat * opt.repeat; ++r)
+            executions.push_back(req);
+    }
+
     inform("tapacs-batch: %zu request(s) (%zu execution(s)), %d "
            "thread(s), cache %s",
-           manifest.size(), executions.size(), threads,
+           manifest.requests.size(), executions.size(), sopt.threads,
            cc == nullptr ? "off"
                          : (cc->store().directory().empty()
                                 ? "memory"
@@ -375,55 +233,62 @@ main(int argc, char **argv)
 
     using clock = std::chrono::steady_clock;
     const auto t0 = clock::now();
-    std::vector<RequestOutcome> outcomes(executions.size());
-    if (threads == 1) {
-        for (std::size_t i = 0; i < executions.size(); ++i)
-            outcomes[i] = runRequest(*executions[i], cc, opt.warmStart);
-    } else {
-        // Drainer tasks on the shared pool: at most `threads` requests
-        // in flight, each free to use the pool's helping parallelism
-        // internally (synthesis, per-device floorplans).
-        std::atomic<std::size_t> next{0};
-        TaskGroup group;
-        const int drainers =
-            std::min<int>(threads, static_cast<int>(executions.size()));
-        for (int t = 0; t < drainers; ++t) {
-            group.run([&]() {
-                while (true) {
-                    const std::size_t i = next.fetch_add(1);
-                    if (i >= executions.size())
-                        return;
-                    outcomes[i] =
-                        runRequest(*executions[i], cc, opt.warmStart);
-                }
-            });
+    serve::CompileService service(sopt);
+    // Shed submissions still get a typed row in the final table.
+    std::vector<std::pair<std::size_t, serve::ServeOutcome>> shed;
+    std::vector<char> admitted(executions.size(), 0);
+    for (std::size_t i = 0; i < executions.size(); ++i) {
+        const Status st = service.submit(executions[i]);
+        if (st.ok()) {
+            admitted[i] = 1;
+        } else {
+            serve::ServeOutcome out;
+            out.name = executions[i].name;
+            out.status = st;
+            out.failureReason = st.message();
+            shed.emplace_back(i, std::move(out));
         }
-        group.wait();
     }
+    const std::vector<serve::ServeOutcome> drained = service.finish();
     const double wall =
         std::chrono::duration<double>(clock::now() - t0).count();
 
-    std::printf("%-20s %-10s %6s %9s %12s %14s\n", "request", "status",
-                "tasks", "seconds", "fmax", "cut");
-    int failures = 0;
+    // Re-interleave drained outcomes with shed ones in submission
+    // order.
+    std::vector<serve::ServeOutcome> outcomes(executions.size());
+    std::size_t d = 0;
     for (std::size_t i = 0; i < executions.size(); ++i) {
-        const RequestOutcome &o = outcomes[i];
+        if (admitted[i])
+            outcomes[i] = drained[d++];
+    }
+    for (auto &s : shed)
+        outcomes[s.first] = std::move(s.second);
+
+    std::printf("%-20s %-18s %6s %9s %12s %14s\n", "request", "status",
+                "tasks", "seconds", "fmax", "cut");
+    int unrouted = 0;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const serve::ServeOutcome &o = outcomes[i];
         if (!o.routable)
-            ++failures;
-        std::printf("%-20s %-10s %6d %9.3f %12s %14s\n",
-                    executions[i]->name.c_str(),
-                    o.routable ? "ok" : "FAILED", o.tasks, o.seconds,
+            ++unrouted;
+        std::printf("%-20s %-18s %6d %9.3f %12s %14s\n",
+                    o.name.c_str(), statusLabel(o), o.tasks, o.seconds,
                     o.routable ? formatFrequency(o.fmax).c_str() : "-",
                     o.routable
                         ? formatBytes(o.cutTrafficBytes).c_str()
                         : o.failureReason.c_str());
     }
-    std::printf("\n%zu execution(s) in %.3fs wall\n", executions.size(),
+    std::printf("\n%zu execution(s) in %.3fs wall\n", outcomes.size(),
                 wall);
 
+    const obs::MetricsSnapshot snap =
+        obs::MetricsRegistry::global().snapshot();
+    const obs::MetricsSnapshot serveMetrics =
+        snap.filterPrefix("tapacs.serve.");
+    if (!serveMetrics.counters.empty())
+        std::printf("\n%s", serveMetrics.renderTable().c_str());
     const obs::MetricsSnapshot cacheMetrics =
-        obs::MetricsRegistry::global().snapshot().filterPrefix(
-            "tapacs.cache.");
+        snap.filterPrefix("tapacs.cache.");
     if (!cacheMetrics.counters.empty() || !cacheMetrics.gauges.empty()) {
         const std::int64_t hits =
             cacheMetrics.hasCounter("tapacs.cache.hits")
@@ -441,5 +306,8 @@ main(int argc, char **argv)
                         (long long)hits, (long long)(hits + misses));
         }
     }
-    return failures == 0 ? 0 : 1;
+
+    if (opt.strict && (unrouted > 0 || !manifest.clean()))
+        return 1;
+    return 0;
 }

@@ -18,7 +18,9 @@
  *       mode=vitis|tapa|tapacs
  *       topology=chain|ring|star|mesh|hypercube|full
  *       threshold=X    eq. 1 threshold in (0, 1] (default 0.70)
- *       scale=N        workload size knob (0 = harness default)
+ *       scale=N        workload size knob (0 = harness default):
+ *                      stencil iterations, pagerank synthetic node
+ *                      count, knn points, cnn batch size
  *       repeat=N       enqueue N copies (1..10000)
  *       deadline_ms=N  per-request deadline; 0 = already expired
  *                      (forces the deterministic degraded path),

@@ -63,8 +63,16 @@ buildWorkload(const Request &req, apps::AppDesign *out)
         *out = apps::buildStencil(
             apps::StencilConfig::scaled(iters, req.fpgas));
     } else if (req.workload == "pagerank") {
-        *out = apps::buildPageRank(apps::PageRankConfig::scaled(
-            apps::pagerankDatasets()[0], req.fpgas));
+        apps::GraphDataset dataset = apps::pagerankDatasets()[0];
+        if (scale > 0) {
+            // scale= is the synthetic node count; edges follow the
+            // ~11 edges/node average of the paper's Table 5 networks.
+            dataset.name = "synthetic-" + std::to_string(scale);
+            dataset.nodes = scale;
+            dataset.edges = scale * 11;
+        }
+        *out = apps::buildPageRank(
+            apps::PageRankConfig::scaled(dataset, req.fpgas));
     } else if (req.workload == "knn") {
         const std::int64_t n = req.scale > 0 ? req.scale : 1'000'000;
         *out = apps::buildKnn(apps::KnnConfig::scaled(n, 2, req.fpgas));
@@ -73,7 +81,8 @@ buildWorkload(const Request &req, apps::AppDesign *out)
         cnn.rows = 4;
         cnn.cols = 4;
         cnn.numFpgas = req.fpgas;
-        cnn.batch = 4;
+        // scale= is the batch size for cnn.
+        cnn.batch = scale > 0 ? static_cast<int>(scale) : 4;
         cnn.numBlocks = 8;
         *out = apps::buildCnn(cnn);
     } else {
@@ -114,9 +123,12 @@ CompileService::submit(Request req)
         static_cast<int>(queue_.size()) >= options_.maxQueue) {
         if (options_.blockOnFull) {
             spaceCv_.wait(lock, [&]() {
-                return static_cast<int>(queue_.size()) <
-                       options_.maxQueue;
+                return closed_ || static_cast<int>(queue_.size()) <
+                                      options_.maxQueue;
             });
+            if (closed_)
+                return Status::internal(
+                    "service closed while blocked on a full queue");
         } else {
             reg.counter("tapacs.serve.rejected").add();
             return Status::resourceExhausted(
@@ -151,6 +163,7 @@ CompileService::finish()
         closed_ = true;
     }
     queueCv_.notify_all();
+    spaceCv_.notify_all(); // wake submitters blocked on a full queue
     for (std::thread &w : workers_)
         w.join();
     workers_.clear();
@@ -171,6 +184,7 @@ CompileService::workerLoop()
     while (true) {
         std::size_t idx = 0;
         bool shed = false;
+        const Request *req = nullptr;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             queueCv_.wait(lock, [&]() {
@@ -180,6 +194,10 @@ CompileService::workerLoop()
                 return; // closed and drained
             idx = queue_.front();
             queue_.pop_front();
+            // Resolve the element reference while still holding the
+            // lock: deque references survive submit()'s push_back, but
+            // operator[] walks internal state that push_back mutates.
+            req = &requests_[idx];
             spaceCv_.notify_one();
             if (breakerOpen_) {
                 ++shedSinceOpen_;
@@ -190,7 +208,7 @@ CompileService::workerLoop()
 
         ServeOutcome out;
         if (shed) {
-            out.name = requests_[idx].name;
+            out.name = req->name;
             out.attempts = 0;
             out.status = Status::resourceExhausted(
                 "circuit breaker open: request '%s' shed",
@@ -198,7 +216,7 @@ CompileService::workerLoop()
             out.failureReason = out.status.message();
             reg.counter("tapacs.serve.breaker_shed").add();
         } else {
-            out = execute(requests_[idx]);
+            out = execute(*req);
         }
 
         std::lock_guard<std::mutex> lock(mutex_);

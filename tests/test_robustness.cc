@@ -14,7 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/stencil.hh"
@@ -496,6 +498,71 @@ TEST(CompileService, ExpiredDeadlineStillReturnsDegradedResult)
     EXPECT_FALSE(t.degradedReason.empty());
     EXPECT_TRUE(outcomes[1].status.ok());
     EXPECT_FALSE(outcomes[1].degraded);
+}
+
+TEST(CompileService, FinishUnblocksSubmitterBlockedOnFullQueue)
+{
+    serve::ServeOptions sopt;
+    sopt.threads = 1;
+    sopt.maxQueue = 1;
+    sopt.blockOnFull = true;
+    serve::CompileService service(sopt);
+    ASSERT_TRUE(service.submit(quickRequest("seed")).ok());
+    std::atomic<int> admitted{1};
+    std::atomic<int> closed{0};
+    std::thread submitter([&]() {
+        for (int i = 0; i < 64; ++i) {
+            const Status st =
+                service.submit(quickRequest("r" + std::to_string(i)));
+            if (st.ok()) {
+                ++admitted;
+            } else {
+                EXPECT_EQ(st.code(), StatusCode::Internal);
+                ++closed;
+            }
+        }
+    });
+    // Close while the submitter may be blocked on the full queue:
+    // finish() must wake it (the test completing at all is the
+    // deadlock regression check), and every submit that returned Ok
+    // must have a drained outcome — never a default-constructed slot.
+    const std::vector<serve::ServeOutcome> outcomes = service.finish();
+    submitter.join();
+    EXPECT_EQ(admitted.load() + closed.load(), 65);
+    ASSERT_EQ(outcomes.size(),
+              static_cast<std::size_t>(admitted.load()));
+    for (const serve::ServeOutcome &o : outcomes) {
+        EXPECT_TRUE(o.status.ok()) << o.failureReason;
+        EXPECT_FALSE(o.name.empty());
+        EXPECT_EQ(o.attempts, 1);
+    }
+}
+
+TEST(CompileService, PagerankScaleChangesTheWorkload)
+{
+    serve::ServeOptions sopt;
+    sopt.threads = 1;
+    serve::CompileService service(sopt);
+    serve::Request base;
+    base.name = "pr-default";
+    base.workload = "pagerank";
+    base.fpgas = 2;
+    base.mode = CompileMode::TapaCs;
+    base.deadlineMs = 0.0; // degraded path: fast and deterministic
+    serve::Request scaled = base;
+    scaled.name = "pr-scaled";
+    scaled.scale = 100'000; // synthetic 100k-node dataset
+    ASSERT_TRUE(service.submit(base).ok());
+    ASSERT_TRUE(service.submit(scaled).ok());
+    const std::vector<serve::ServeOutcome> outcomes = service.finish();
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const serve::ServeOutcome &o : outcomes) {
+        EXPECT_TRUE(o.status.ok()) << o.failureReason;
+        EXPECT_TRUE(o.routable);
+    }
+    // The synthetic dataset is far smaller than the Table 5 default,
+    // so the edge-stream traffic over the cut must differ.
+    EXPECT_NE(outcomes[0].cutTrafficBytes, outcomes[1].cutTrafficBytes);
 }
 
 TEST(CompileService, RetriesAreBoundedAndCounted)

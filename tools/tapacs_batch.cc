@@ -51,6 +51,7 @@
  *                         a typed outcome)
  */
 
+#include <cstdint>
 #include <cstdio>
 #include <chrono>
 #include <fstream>
@@ -145,8 +146,10 @@ parseArgs(int argc, char **argv)
     }
     if (opt.manifest.empty())
         usage();
-    if (opt.repeat < 1) {
-        std::fprintf(stderr, "--repeat must be >= 1\n");
+    // Mirror the manifest's per-request repeat cap so the combined
+    // repeat (computed in 64-bit below) can never overflow.
+    if (opt.repeat < 1 || opt.repeat > 10'000) {
+        std::fprintf(stderr, "--repeat must be in [1, 10000]\n");
         std::exit(2);
     }
     return opt;
@@ -219,7 +222,9 @@ main(int argc, char **argv)
     // multiplier, in manifest order.
     std::vector<serve::Request> executions;
     for (const serve::Request &req : manifest.requests) {
-        for (int r = 0; r < req.repeat * opt.repeat; ++r)
+        const std::int64_t copies =
+            static_cast<std::int64_t>(req.repeat) * opt.repeat;
+        for (std::int64_t r = 0; r < copies; ++r)
             executions.push_back(req);
     }
 

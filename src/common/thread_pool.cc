@@ -90,12 +90,15 @@ ThreadPool::popTask(int self, std::function<void()> &out)
     // victim is least likely to want it back soon).
     const int start = self >= 0 ? self : 0;
     for (int i = 1; i <= n; ++i) {
-        Shard &s = *shards_[(start + i) % n];
+        const int victim = (start + i) % n;
+        Shard &s = *shards_[victim];
         std::lock_guard<std::mutex> lk(s.mu);
         if (!s.tasks.empty()) {
             out = std::move(s.tasks.front());
             s.tasks.pop_front();
             queued_.fetch_sub(1, std::memory_order_relaxed);
+            if (victim != self)
+                steals_.fetch_add(1, std::memory_order_relaxed);
             return true;
         }
     }

@@ -208,6 +208,23 @@ parseManifest(const std::string &text)
                 } else {
                     req.deadlineMs = x;
                 }
+            } else if (key == "simulate") {
+                if (!parseInt(value, 0, 1, &n)) {
+                    reject(strprintf("simulate must be 0 or 1, got "
+                                     "'%s'", value.c_str()));
+                    bad = true;
+                } else {
+                    req.simulate = n != 0;
+                }
+            } else if (key == "sim_engine") {
+                if (value != "serial" && value != "parallel") {
+                    reject(strprintf("sim_engine must be serial|"
+                                     "parallel, got '%s'",
+                                     value.c_str()));
+                    bad = true;
+                } else {
+                    req.simEngine = value;
+                }
             } else {
                 reject(strprintf("unknown key '%s'", key.c_str()));
                 bad = true;

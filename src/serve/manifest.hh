@@ -25,6 +25,12 @@
  *       deadline_ms=N  per-request deadline; 0 = already expired
  *                      (forces the deterministic degraded path),
  *                      negative = inherit the service default
+ *       simulate=0|1   also simulate the compiled design and report
+ *                      its makespan (default 0); the sim honors the
+ *                      request deadline
+ *       sim_engine=serial|parallel
+ *                      event-loop engine for simulate=1 (default
+ *                      serial; both produce identical results)
  */
 
 #ifndef TAPACS_SERVE_MANIFEST_HH
@@ -57,6 +63,11 @@ struct Request
     /** Milliseconds; < 0 = inherit the service default, 0 = already
      *  expired (deterministic degraded path), > 0 = that budget. */
     double deadlineMs = -1.0;
+    /** Also simulate the compiled design (simulate=1). */
+    bool simulate = false;
+    /** Engine for that simulation ("serial" | "parallel"; empty =
+     *  serial). */
+    std::string simEngine;
 };
 
 /** One rejected manifest line. */

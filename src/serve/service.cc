@@ -18,6 +18,7 @@
 #include "network/cluster.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "sim/dataflow_sim.hh"
 
 namespace tapacs::serve
 {
@@ -286,24 +287,27 @@ CompileService::runAttempt(const Request &req, const Context &ctx)
     Status st = tryMakePaperTestbed(req.fpgas, &cluster);
     if (st.ok()) {
         CompileResult result;
+        // The graph outlives the compile branch: simulate=1 feeds the
+        // same graph back through the event-driven simulator below.
+        TaskGraph graph;
         if (!req.graphFile.empty()) {
             std::string text;
             st = readFileBounded(req.graphFile, &text);
             if (st.ok()) {
-                TaskGraph g;
-                st = tryParseTaskGraph(text, &g);
+                st = tryParseTaskGraph(text, &graph);
                 if (st.ok()) {
-                    out.tasks = g.numVertices();
-                    result = compile(g, cluster, opt);
+                    out.tasks = graph.numVertices();
+                    result = compile(graph, cluster, opt);
                 }
             }
         } else {
             apps::AppDesign design;
             st = buildWorkload(req, &design);
             if (st.ok()) {
-                out.tasks = design.graph.numVertices();
-                result = compileProgram(design.graph, design.tasks,
-                                        cluster, opt);
+                graph = std::move(design.graph);
+                out.tasks = graph.numVertices();
+                result = compileProgram(graph, design.tasks, cluster,
+                                        opt);
             }
         }
         if (st.ok()) {
@@ -318,6 +322,33 @@ CompileService::runAttempt(const Request &req, const Context &ctx)
             out.fmax = result.fmax;
             out.cutTrafficBytes = result.cutTrafficBytes;
         }
+        if (st.ok() && req.simulate && out.status.ok() &&
+            result.routable) {
+            sim::SimOptions sopt;
+            sopt.exportMetrics = false;
+            sopt.ctx = ctx;
+            sopt.engine = req.simEngine == "parallel"
+                              ? sim::SimEngine::Parallel
+                              : sim::SimEngine::Serial;
+            const StatusOr<sim::SimResult> simmed = sim::trySimulate(
+                graph, cluster, result.partition, result.binding,
+                result.pipeline, result.deviceFmax, sopt);
+            if (!simmed.ok()) {
+                // Shape/rate validation failed: the *request* is bad.
+                out.status = simmed.status();
+                out.failureReason = out.status.message();
+            } else {
+                // Partial results (deadline, cancel, event cap) still
+                // carry their stats; the typed reason propagates so
+                // the retry/deadline accounting upstream sees it.
+                out.simulated = true;
+                out.simMakespan = simmed.value().makespan;
+                if (!simmed.value().status.ok()) {
+                    out.status = simmed.value().status;
+                    out.failureReason = out.status.message();
+                }
+            }
+        }
     }
     if (!st.ok()) {
         out.status = st;
@@ -329,7 +360,8 @@ CompileService::runAttempt(const Request &req, const Context &ctx)
     span.arg("seconds", out.seconds)
         .arg("status", toString(out.status.code()))
         .arg("routable", static_cast<std::int64_t>(out.routable))
-        .arg("degraded", static_cast<std::int64_t>(out.degraded));
+        .arg("degraded", static_cast<std::int64_t>(out.degraded))
+        .arg("simulated", static_cast<std::int64_t>(out.simulated));
     obs::MetricsRegistry::global()
         .histogram("tapacs.serve.request_seconds",
                    {0.01, 0.1, 0.5, 1.0, 5.0, 30.0})

@@ -122,6 +122,11 @@ struct ServeOutcome
     double seconds = 0.0;
     Hertz fmax = 0.0;
     double cutTrafficBytes = 0.0;
+    /** simulate=1 and the sim ran to a result (possibly a partial one
+     *  under a deadline/cancel — then status carries the reason). */
+    bool simulated = false;
+    /** Simulated makespan in seconds (partial when !status.ok()). */
+    double simMakespan = 0.0;
 };
 
 /**

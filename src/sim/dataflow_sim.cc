@@ -1,56 +1,29 @@
 #include "sim/dataflow_sim.hh"
 
-#include <algorithm>
-#include <map>
-#include <optional>
-#include <queue>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
-#include "sim/server.hh"
+#include "sim/engine.hh"
 
 namespace tapacs::sim
 {
 
-namespace
+const char *
+toString(SimEngine engine)
 {
-
-/**
- * Publish one server's utilization to the process metrics registry
- * under `tapacs.sim.<resource>.{busy_seconds,wait_seconds,requests}`.
- * Servers that never served a request are skipped so the registry
- * holds only resources the run actually touched.
- */
-void
-exportServerMetrics(const std::string &resource, const Server &server)
-{
-    if (server.requests() == 0)
-        return;
-    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
-    const std::string base = "tapacs.sim." + resource;
-    reg.gauge(base + ".busy_seconds").set(server.busyTime());
-    reg.gauge(base + ".wait_seconds").set(server.waitTime());
-    reg.gauge(base + ".requests")
-        .set(static_cast<double>(server.requests()));
-}
-
-/** A scheduled token arrival on an edge. */
-struct TokenEvent
-{
-    Seconds time;
-    std::uint64_t seq;
-    EdgeId edge;
-
-    bool operator>(const TokenEvent &o) const
-    {
-        if (time != o.time)
-            return time > o.time;
-        return seq > o.seq;
+    switch (engine) {
+    case SimEngine::Serial:
+        return "serial";
+    case SimEngine::Parallel:
+        return "parallel";
     }
-};
-
-} // namespace
+    return "?";
+}
 
 double
 SimResult::deviceUtilization(DeviceId d) const
@@ -62,391 +35,123 @@ SimResult::deviceUtilization(DeviceId d) const
     return deviceComputeBusy[d] / makespan / deviceTaskCount[d];
 }
 
+namespace
+{
+
+/** Resolve the engine to run: the TAPACS_SIM_ENGINE environment
+ *  variable overrides the option, then the parallel engine falls
+ *  back to serial whenever it cannot help (one device = one LP) or
+ *  cannot be conservative (a cross-device edge with no positive
+ *  latency lower bound leaves nothing to advance windows by). */
+SimEngine
+resolveEngine(const SimOptions &options,
+              const detail::SimSetup &setup)
+{
+    SimEngine engine = options.engine;
+    if (const char *env = std::getenv("TAPACS_SIM_ENGINE")) {
+        if (std::strcmp(env, "serial") == 0) {
+            engine = SimEngine::Serial;
+        } else if (std::strcmp(env, "parallel") == 0) {
+            engine = SimEngine::Parallel;
+        } else {
+            static std::atomic<bool> warned{false};
+            if (!warned.exchange(true)) {
+                warn("TAPACS_SIM_ENGINE='%s' is not "
+                     "\"serial\" | \"parallel\"; ignoring", env);
+            }
+        }
+    }
+    if (engine == SimEngine::Parallel &&
+        (setup.numDevices < 2 ||
+         (setup.anyCross && !(setup.minLookahead > 0.0))))
+        engine = SimEngine::Serial;
+    return engine;
+}
+
+} // namespace
+
+StatusOr<SimResult>
+trySimulate(const TaskGraph &g, const Cluster &cluster,
+            const DevicePartition &partition, const HbmBinding &binding,
+            const PipelinePlan &plan,
+            const std::vector<Hertz> &deviceFmax,
+            const SimOptions &options)
+{
+    obs::TraceSpan sim_span("sim", "sim.run");
+
+    detail::SimSetup setup;
+    Status st = detail::buildSetup(g, cluster, partition, binding,
+                                   plan, deviceFmax, options, &setup);
+    if (!st.ok())
+        return st;
+
+    if (setup.injector && options.exportMetrics)
+        obs::MetricsRegistry::global().resetPrefix("tapacs.net.");
+
+    const SimEngine engine = resolveEngine(options, setup);
+    detail::RunState run;
+    detail::initRunState(setup, &run);
+    detail::ParStats par;
+    if (engine == SimEngine::Parallel) {
+        const int threads = options.numThreads > 0
+                                ? options.numThreads
+                                : ThreadPool::defaultPool().size();
+        par = detail::runParallel(setup, run, threads);
+    } else {
+        detail::runSerial(setup, run);
+    }
+
+    SimResult out;
+    detail::finalizeResult(setup, run, &out);
+
+    if (options.exportMetrics) {
+        detail::exportSimMetrics(setup, run);
+        if (engine == SimEngine::Parallel) {
+            // After exportSimMetrics' resetPrefix so these survive;
+            // intentionally not in SimResult::stats, which stays
+            // engine-independent (bit-identical across engines).
+            obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+            reg.gauge("tapacs.sim.par.windows")
+                .set(static_cast<double>(par.windows));
+            reg.gauge("tapacs.sim.par.events")
+                .set(static_cast<double>(par.events));
+            reg.gauge("tapacs.sim.par.null_advances")
+                .set(static_cast<double>(par.nullAdvances));
+            reg.gauge("tapacs.sim.par.coalesced_tokens")
+                .set(static_cast<double>(par.coalescedTokens));
+            reg.gauge("tapacs.sim.par.cross_commits")
+                .set(static_cast<double>(par.crossCommits));
+            reg.gauge("tapacs.sim.par.steals")
+                .set(static_cast<double>(par.steals));
+            reg.gauge("tapacs.sim.par.threads")
+                .set(static_cast<double>(par.threads));
+        }
+    }
+
+    sim_span
+        .arg("engine", std::string(toString(engine)))
+        .arg("events",
+             static_cast<std::int64_t>(out.stats.get("events")))
+        .arg("makespan_seconds", out.makespan)
+        .arg("hbm_busy_seconds", out.stats.get("hbm.busy_seconds"));
+    return out;
+}
+
 SimResult
 simulate(const TaskGraph &g, const Cluster &cluster,
          const DevicePartition &partition, const HbmBinding &binding,
          const PipelinePlan &plan, const std::vector<Hertz> &deviceFmax,
          const SimOptions &options)
 {
-    obs::TraceSpan sim_span("sim", "sim.run");
-    g.validate();
-    const int n = g.numVertices();
-    tapacs_assert(static_cast<int>(partition.deviceOf.size()) == n);
-    tapacs_assert(static_cast<int>(deviceFmax.size()) ==
-                  cluster.numDevices());
-    for (Hertz f : deviceFmax)
-        tapacs_assert(f > 0.0);
-    for (const auto &e : g.edges()) {
-        const int sb = g.vertex(e.src).work.numBlocks;
-        const int db = g.vertex(e.dst).work.numBlocks;
-        if (sb % db != 0 && db % sb != 0) {
-            fatal("simulate: edge %s->%s has non-integral rate ratio "
-                  "(%d vs %d blocks)", g.vertex(e.src).name.c_str(),
-                  g.vertex(e.dst).name.c_str(), sb, db);
-        }
-    }
-    for (VertexId v = 0; v < n; ++v) {
-        const WorkProfile &w = g.vertex(v).work;
-        if ((w.memReadBytes > 0.0 || w.memWriteBytes > 0.0) &&
-            w.memChannels == 0) {
-            fatal("task '%s' accesses external memory but binds no "
-                  "channels", g.vertex(v).name.c_str());
-        }
-    }
-
-    SimResult out;
-    out.taskFinish.assign(n, 0.0);
-    out.deviceComputeBusy.assign(cluster.numDevices(), 0.0);
-    out.deviceTaskCount.assign(cluster.numDevices(), 0);
-    out.edgeComm.assign(g.numEdges(), EdgeCommStats{});
-    for (VertexId v = 0; v < n; ++v)
-        ++out.deviceTaskCount[partition.deviceOf[v]];
-
-    // Fault injection: compile the plan once; the transport carries
-    // the retry policy and serializes attempts on the real ports.
-    std::optional<FaultInjector> injector;
-    std::optional<ReliableTransport> transport;
-    if (options.faults != nullptr && !options.faults->empty()) {
-        injector.emplace(*options.faults, cluster.numDevices());
-        transport.emplace(options.transport, &*injector);
-        out.deadDevices = injector->scheduledDeaths();
-        if (options.exportMetrics)
-            obs::MetricsRegistry::global().resetPrefix("tapacs.net.");
-    }
-
-    const MemorySystem &mem = cluster.device().memory();
-
-    // Shared resources.
-    std::vector<std::vector<Server>> hbm(
-        cluster.numDevices(), std::vector<Server>(mem.channels));
-    std::vector<Server> datapath(n);
-    std::map<std::pair<int, int>, Server> netPort;   // device pair
-    std::map<std::pair<int, int>, Server> nodeLink;  // node pair
-
-    // Precomputed per-task per-block durations.
-    std::vector<double> readPerChannel(n, 0.0), writePerChannel(n, 0.0);
-    std::vector<double> computeDur(n, 0.0);
-    for (VertexId v = 0; v < n; ++v) {
-        const WorkProfile &w = g.vertex(v).work;
-        const double blocks = w.numBlocks;
-        const Hertz fmax = deviceFmax[partition.deviceOf[v]];
-        computeDur[v] = w.computeOps / blocks / (w.opsPerCycle * fmax);
-        if (w.memChannels > 0) {
-            // A kernel port moves at most width x clock bytes/s; only
-            // ports at the saturating width running at speed reach the
-            // full per-channel bandwidth (the paper's 256-bit ports
-            // saturate ~51 % of an HBM bank).
-            const double port_rate =
-                w.memPortWidthBits / 8.0 * fmax;
-            const double bw =
-                std::min(mem.perChannelBandwidth(), port_rate);
-            readPerChannel[v] =
-                w.memReadBytes / blocks / w.memChannels / bw;
-            writePerChannel[v] =
-                w.memWriteBytes / blocks / w.memChannels / bw;
-        }
-    }
-
-    // SDF-style rates: one producer block may enable several consumer
-    // firings (credit > 1) or a consumer firing may need several
-    // producer blocks (need > 1). The token counters are kept in
-    // consumer-firing units.
-    std::vector<int> fired(n, 0);
-    std::vector<std::vector<int>> tokens(n);  // per in-edge, firing units
-    std::vector<std::vector<int>> credit(n);  // firings per arriving token
-    for (VertexId v = 0; v < n; ++v) {
-        const auto &ins = g.inEdges(v);
-        tokens[v].assign(ins.size(), 0);
-        credit[v].assign(ins.size(), 1);
-        const int db = g.vertex(v).work.numBlocks;
-        for (size_t i = 0; i < ins.size(); ++i) {
-            const Edge &e = g.edge(ins[i]);
-            const int sb = g.vertex(e.src).work.numBlocks;
-            // Token arithmetic in consumer-firing units: an arriving
-            // producer block is worth db/sb firings when db > sb; a
-            // firing needs sb/db producer blocks when sb > db, which
-            // we express by scaling arrivals down (credit stays 1 and
-            // the consumer waits for sb/db arrivals — implemented by
-            // counting arrivals and dividing).
-            credit[v][i] = db >= sb ? db / sb : -(sb / db);
-            tokens[v][i] = e.initialTokens *
-                           (credit[v][i] > 0 ? credit[v][i] : 1);
-        }
-    }
-    // For need>1 edges we count raw arrivals separately.
-    std::vector<std::vector<int>> rawArrivals(n);
-    for (VertexId v = 0; v < n; ++v)
-        rawArrivals[v].assign(g.inEdges(v).size(), 0);
-
-    std::priority_queue<TokenEvent, std::vector<TokenEvent>,
-                        std::greater<TokenEvent>>
-        events;
-    std::uint64_t seq = 0;
-    Seconds makespan = 0.0;
-
-    auto fireBlocks = [&](VertexId v, Seconds now) {
-        const WorkProfile &w = g.vertex(v).work;
-        const DeviceId dev = partition.deviceOf[v];
-        const Hertz fmax = deviceFmax[dev];
-        const auto &ins = g.inEdges(v);
-
-        // A killed device fires nothing from its death time onward;
-        // blocks already in flight (started earlier) complete.
-        if (injector && injector->deviceDead(dev, now))
-            return;
-
-        while (fired[v] < w.numBlocks) {
-            // All inputs must hold a token.
-            bool ready = true;
-            for (size_t i = 0; i < ins.size(); ++i) {
-                if (tokens[v][i] == 0) {
-                    ready = false;
-                    break;
-                }
-            }
-            if (!ready)
-                break;
-            for (size_t i = 0; i < ins.size(); ++i)
-                --tokens[v][i];
-            ++fired[v];
-
-            // Read from external memory across bound channels.
-            Seconds read_done = now;
-            if (readPerChannel[v] > 0.0) {
-                for (int c : binding.channelsOf[v]) {
-                    read_done = std::max(
-                        read_done,
-                        hbm[dev][c].acquire(now, readPerChannel[v]));
-                }
-            }
-            // Compute on the task datapath.
-            const Seconds compute_done =
-                datapath[v].acquire(read_done, computeDur[v]);
-            out.deviceComputeBusy[dev] += computeDur[v];
-            // Write back.
-            Seconds write_done = compute_done;
-            if (writePerChannel[v] > 0.0) {
-                for (int c : binding.channelsOf[v]) {
-                    write_done = std::max(
-                        write_done, hbm[dev][c].acquire(
-                                        compute_done, writePerChannel[v]));
-                }
-            }
-            out.taskFinish[v] = std::max(out.taskFinish[v], write_done);
-            makespan = std::max(makespan, write_done);
-            if (options.recordTimeline) {
-                out.timeline.push_back({v, fired[v] - 1, now, read_done,
-                                        compute_done - computeDur[v],
-                                        compute_done, write_done});
-            }
-
-            // Emit one token per out edge.
-            for (EdgeId e : g.outEdges(v)) {
-                const Edge &edge = g.edge(e);
-                const DeviceId dd = partition.deviceOf[edge.dst];
-                const double bytes =
-                    edge.totalBytes / g.vertex(edge.src).work.numBlocks;
-                Seconds arrival;
-                if (dd == dev) {
-                    const int cycles = plan.edges[e].stages +
-                                       plan.edges[e].balanceDepth;
-                    arrival = write_done + cycles / fmax;
-                } else if (cluster.sameNode(dev, dd)) {
-                    const LinkModel &link = cluster.intraLink();
-                    const int hops = cluster.nodeTopology().dist(
-                        cluster.localIndex(dev), cluster.localIndex(dd));
-                    const Seconds occ = std::max(
-                        0.0, link.transferTime(bytes) - link.baseLatency());
-                    const Seconds flight = hops * link.baseLatency() +
-                                           (hops - 1) * occ;
-                    Server &port = netPort[{dev, dd}];
-                    if (transport) {
-                        EdgeCommStats &ec = out.edgeComm[e];
-                        const std::uint64_t mid =
-                            static_cast<std::uint64_t>(e) << 32 |
-                            static_cast<std::uint32_t>(ec.messages);
-                        ++ec.messages;
-                        const TransferOutcome tr = transport->send(
-                            dev, dd, mid, write_done, occ, flight,
-                            [&port](Seconds s, Seconds d) {
-                                return port.acquire(s, d);
-                            });
-                        ec.retries += tr.retries;
-                        ec.timeouts += tr.timeouts;
-                        ec.backoffSeconds += tr.backoffSeconds;
-                        ec.linkDownWaitSeconds += tr.linkDownWaitSeconds;
-                        if (!tr.delivered) {
-                            // The token dies with the link; only the
-                            // FIFOs crossing it stall.
-                            ++ec.undelivered;
-                            out.stats.incr("net.undelivered");
-                            continue;
-                        }
-                        arrival = tr.finishTime;
-                    } else {
-                        const Seconds sent =
-                            port.acquire(write_done, occ);
-                        arrival = sent + flight;
-                    }
-                    out.interDeviceBytes += bytes;
-                    out.stats.incr("net.intra.transfers");
-                } else {
-                    // dev -> host (PCIe), host -> host (MPI), host ->
-                    // dev. The hand-off is staged through host memory
-                    // buffers, so the three legs occupy the node-pair
-                    // path serially and consecutive blocks do not
-                    // overlap on it — this is why section 5.7's
-                    // cross-node designs lose most of their scaling.
-                    const LinkModel &host = cluster.hostLink();
-                    const LinkModel &inode = cluster.interNodeLink();
-                    Server &pipe = nodeLink[{cluster.nodeOf(dev),
-                                             cluster.nodeOf(dd)}];
-                    const Seconds occ = host.transferTime(bytes) +
-                                        inode.transferTime(bytes) +
-                                        host.transferTime(bytes);
-                    if (transport) {
-                        EdgeCommStats &ec = out.edgeComm[e];
-                        const std::uint64_t mid =
-                            static_cast<std::uint64_t>(e) << 32 |
-                            static_cast<std::uint32_t>(ec.messages);
-                        ++ec.messages;
-                        const TransferOutcome tr = transport->send(
-                            dev, dd, mid, write_done, occ, 0.0,
-                            [&pipe](Seconds s, Seconds d) {
-                                return pipe.acquire(s, d);
-                            });
-                        ec.retries += tr.retries;
-                        ec.timeouts += tr.timeouts;
-                        ec.backoffSeconds += tr.backoffSeconds;
-                        ec.linkDownWaitSeconds += tr.linkDownWaitSeconds;
-                        if (!tr.delivered) {
-                            ++ec.undelivered;
-                            out.stats.incr("net.undelivered");
-                            continue;
-                        }
-                        arrival = tr.finishTime;
-                    } else {
-                        arrival = pipe.acquire(write_done, occ);
-                    }
-                    out.interDeviceBytes += bytes;
-                    out.stats.incr("net.inter.transfers");
-                }
-                events.push({arrival, seq++, e});
-                makespan = std::max(makespan, arrival);
-            }
-        }
-    };
-
-    // Kick off the sources (and anything with zero inputs).
-    for (VertexId v = 0; v < n; ++v)
-        fireBlocks(v, 0.0);
-
-    std::uint64_t processed = 0;
-    while (!events.empty()) {
-        if (++processed > options.maxEvents)
-            fatal("simulate: event cap exceeded (%llu) — check block "
-                  "counts", static_cast<unsigned long long>(
-                                options.maxEvents));
-        const TokenEvent ev = events.top();
-        events.pop();
-        const Edge &edge = g.edge(ev.edge);
-        const auto &ins = g.inEdges(edge.dst);
-        for (size_t i = 0; i < ins.size(); ++i) {
-            if (ins[i] == ev.edge) {
-                const int c = credit[edge.dst][i];
-                if (c > 0) {
-                    tokens[edge.dst][i] += c;
-                } else {
-                    // need-|c| edge: every |c|-th raw arrival enables
-                    // one consumer firing.
-                    if (++rawArrivals[edge.dst][i] % (-c) == 0)
-                        ++tokens[edge.dst][i];
-                }
-                break;
-            }
-        }
-        fireBlocks(edge.dst, ev.time);
-    }
-
-    // Every task must have completed all its blocks. Under fault
-    // injection an incomplete run is the *expected* graceful outcome
-    // (killed devices, severed FIFOs) and is reported, not fatal.
-    out.firedBlocks = fired;
-    for (VertexId v = 0; v < n; ++v) {
-        if (fired[v] != g.vertex(v).work.numBlocks) {
-            if (injector) {
-                out.completed = false;
-                continue;
-            }
-            fatal("simulate: task '%s' fired %d of %d blocks — "
-                  "insufficient upstream tokens (graph is not "
-                  "rate-consistent)",
-                  g.vertex(v).name.c_str(), fired[v],
-                  g.vertex(v).work.numBlocks);
-        }
-    }
-
-    if (options.recordTimeline) {
-        std::sort(out.timeline.begin(), out.timeline.end(),
-                  [](const FiringRecord &a, const FiringRecord &b) {
-                      if (a.start != b.start)
-                          return a.start < b.start;
-                      if (a.task != b.task)
-                          return a.task < b.task;
-                      return a.block < b.block;
-                  });
-    }
-
-    out.makespan = makespan;
-    out.stats.set("events", static_cast<double>(processed));
-    double hbm_busy = 0.0;
-    for (const auto &devServers : hbm) {
-        for (const auto &s : devServers)
-            hbm_busy += s.busyTime();
-    }
-    out.stats.set("hbm.busy_seconds", hbm_busy);
-    if (transport) {
-        out.stats.set("net.retries",
-                      static_cast<double>(transport->totalRetries()));
-        out.stats.set("net.timeouts",
-                      static_cast<double>(transport->totalTimeouts()));
-        out.stats.set(
-            "net.link_down_waits",
-            static_cast<double>(transport->totalLinkDownWaits()));
-    }
-
-    if (options.exportMetrics) {
-        // Drop stale per-resource gauges from any earlier run: a
-        // server idle this run would otherwise keep reporting the
-        // previous run's busy/wait/request numbers.
-        obs::MetricsRegistry::global().resetPrefix("tapacs.sim.");
-        for (DeviceId d = 0; d < cluster.numDevices(); ++d) {
-            for (int c = 0; c < mem.channels; ++c) {
-                exportServerMetrics(strprintf("hbm.d%d.ch%d", d, c),
-                                    hbm[d][c]);
-            }
-        }
-        for (VertexId v = 0; v < n; ++v) {
-            exportServerMetrics("task." + g.vertex(v).name,
-                                datapath[v]);
-        }
-        for (const auto &[pair, server] : netPort) {
-            exportServerMetrics(
-                strprintf("net.d%d.d%d", pair.first, pair.second),
-                server);
-        }
-        for (const auto &[pair, server] : nodeLink) {
-            exportServerMetrics(
-                strprintf("net.node%d.node%d", pair.first, pair.second),
-                server);
-        }
-    }
-
-    sim_span
-        .arg("events", static_cast<std::int64_t>(processed))
-        .arg("makespan_seconds", makespan)
-        .arg("hbm_busy_seconds", hbm_busy);
-    return out;
+    StatusOr<SimResult> result = trySimulate(g, cluster, partition,
+                                             binding, plan, deviceFmax,
+                                             options);
+    if (!result.ok())
+        fatal("simulate: %s", result.status().message().c_str());
+    if (!result.value().status.ok())
+        fatal("simulate: %s",
+              result.value().status.message().c_str());
+    return result.moveValue();
 }
 
 std::string

@@ -29,7 +29,9 @@
 
 #include <vector>
 
+#include "common/context.hh"
 #include "common/stats.hh"
+#include "common/status.hh"
 #include "floorplan/hbm_binding.hh"
 #include "floorplan/partition.hh"
 #include "network/faults.hh"
@@ -39,11 +41,45 @@
 namespace tapacs::sim
 {
 
+/**
+ * Which event loop executes the run. Both engines produce
+ * bit-identical SimResults; Parallel decomposes the design into one
+ * logical process per FPGA device and advances them concurrently
+ * inside conservative lookahead windows derived from the link
+ * latency models (Cluster::deliveryLookahead).
+ */
+enum class SimEngine
+{
+    Serial,
+    Parallel,
+};
+
+const char *toString(SimEngine engine);
+
 /** Simulator options. */
 struct SimOptions
 {
     /** Cap on processed events (guards against model bugs). */
     std::uint64_t maxEvents = 50'000'000;
+    /**
+     * Event-loop engine. The TAPACS_SIM_ENGINE environment variable
+     * ("serial" | "parallel") overrides this field when set, so any
+     * harness can be switched without a rebuild. The parallel engine
+     * falls back to serial when it cannot help or cannot be safe:
+     * single-device designs, and clusters whose links advertise no
+     * positive lookahead.
+     */
+    SimEngine engine = SimEngine::Serial;
+    /** Worker threads for the parallel engine: 0 = share the process
+     *  pool at its size, >0 = exactly that many (1 = inline). */
+    int numThreads = 0;
+    /**
+     * Deadline/cancellation context, polled inside both engines'
+     * event loops every few thousand events. An expired or cancelled
+     * context stops the run and surfaces DeadlineExceeded/Cancelled
+     * in SimResult::status together with the partial stats.
+     */
+    Context ctx;
     /** Record one FiringRecord per block (for timeline export). */
     bool recordTimeline = false;
     /**
@@ -132,6 +168,15 @@ struct SimResult
     /** Per-edge retry/backoff accounting, indexed by EdgeId; all-zero
      *  for same-device edges and for runs without faults. */
     std::vector<EdgeCommStats> edgeComm;
+    /**
+     * Why the run stopped: Ok for a drained event queue (the normal
+     * case), DeadlineExceeded/Cancelled when SimOptions::ctx fired
+     * mid-run, ResourceExhausted when the maxEvents cap tripped,
+     * InvalidInput when a healthy graph turned out rate-inconsistent.
+     * Non-Ok runs still carry their partial stats (makespan so far,
+     * firedBlocks, edgeComm, ...), with completed == false.
+     */
+    Status status;
 
     /** Mean fraction of the makespan the device's tasks spent
      *  computing (1.0 = every PE busy the whole run; low values =
@@ -156,6 +201,25 @@ SimResult simulate(const TaskGraph &g, const Cluster &cluster,
                    const HbmBinding &binding, const PipelinePlan &plan,
                    const std::vector<Hertz> &deviceFmax,
                    const SimOptions &options = {});
+
+/**
+ * Total form of simulate() for request-reachable callers (the
+ * compile service): invalid inputs — a malformed graph, non-integral
+ * rate ratios, memory access without bound channels, inconsistent
+ * partition/binding/fmax shapes — come back as an error Status
+ * instead of fatal(). Mid-run conditions (deadline, cancellation,
+ * the maxEvents cap, a rate-inconsistent healthy graph) return an
+ * *Ok* StatusOr whose SimResult carries the typed reason in
+ * SimResult::status along with the partial stats. simulate() is the
+ * asserting wrapper over this.
+ */
+StatusOr<SimResult> trySimulate(const TaskGraph &g,
+                                const Cluster &cluster,
+                                const DevicePartition &partition,
+                                const HbmBinding &binding,
+                                const PipelinePlan &plan,
+                                const std::vector<Hertz> &deviceFmax,
+                                const SimOptions &options = {});
 
 /**
  * Render a recorded timeline as CSV (task,block,start,read_done,

@@ -1,0 +1,397 @@
+/**
+ * @file
+ * The conservative parallel simulation engine (see lp.hh for the
+ * decomposition and dataflow_sim.hh for the user-facing contract).
+ *
+ * Worker model: the orchestrator (the calling thread) runs the round
+ * loop; helpers are optional. Each round the orchestrator publishes
+ * the active-LP list by storing 0 to `workIdx` with release order and
+ * bumping `round`; workers — helpers and the orchestrator alike —
+ * claim list slots with fetch_add on `workIdx` (the acquire side of
+ * the publication) and run one LP per slot, so the engine makes
+ * progress even if no helper ever gets a pool worker. Helpers are
+ * pool tasks that spin-yield between rounds; a helper that wakes late
+ * or re-scans a drained round only performs empty claims, which are
+ * harmless because slots are claimed exactly once and LP state is
+ * handed over through the workIdx/completed acquire-release pair.
+ */
+
+#include "sim/lp.hh"
+
+#include <mutex>
+#include <thread>
+
+#include "common/thread_pool.hh"
+#include "obs/trace.hh"
+
+namespace tapacs::sim::detail
+{
+
+namespace
+{
+
+/** Sorts above every real event: +inf time, then maximal tiebreaks. */
+inline EventKey
+infKey()
+{
+    return {kInfTime, std::numeric_limits<EdgeId>::max(),
+            ~std::uint64_t{0}};
+}
+
+/** Smallest pending event key of an LP: its heap top or the head of
+ *  an undelivered inbox burst, whichever sorts first. */
+inline EventKey
+nextKey(const Lp &lp)
+{
+    EventKey k = infKey();
+    if (!lp.heap.empty())
+        k = lp.heap.top();
+    for (const Burst &b : lp.inbox) {
+        const EventKey bk{b.tokens.front().first, b.e,
+                          b.tokens.front().second};
+        if (bk < k)
+            k = bk;
+    }
+    return k;
+}
+
+/** Shared round-loop control block (see the file comment for the
+ *  publication protocol). */
+struct Ctl
+{
+    std::atomic<std::uint64_t> round{0};
+    std::atomic<bool> done{false};
+    /** Claim cursor; reset to 0 with release order to publish a
+     *  round. Starts saturated so pre-round claims fall through. */
+    std::atomic<int> workIdx{1 << 30};
+    std::atomic<int> activeCount{0};
+    std::atomic<int> completed{0};
+    /** Abort flag: event cap or context expiry inside an LP. */
+    std::atomic<bool> stop{false};
+
+    /** Active device list; contents are published via workIdx and
+     *  read only for claimed slots. */
+    std::vector<DeviceId> active;
+    /** True during round 0 (LPs fire their sources first). */
+    bool first = true;
+
+    std::mutex statusMu;
+    Status status; ///< first abort reason wins; guarded by statusMu
+
+    void
+    abort(Status s)
+    {
+        {
+            std::lock_guard<std::mutex> lock(statusMu);
+            if (status.ok())
+                status = std::move(s);
+        }
+        stop.store(true, std::memory_order_relaxed);
+    }
+};
+
+/** LP-local event sink: same-device arrivals go straight to the
+ *  heap, other-device arrivals join (or open) the per-edge outbox
+ *  burst, cross-node emissions are deferred for the barrier. */
+struct ParSink
+{
+    const SimSetup &S;
+    Lp &lp;
+    DeviceId dev;
+
+    void
+    deliver(EdgeId e, Seconds arrival, std::uint64_t seq)
+    {
+        if (S.edges[e].ddev == dev) {
+            lp.heap.push({arrival, e, seq});
+            return;
+        }
+        int &bi = lp.burstIdx[e];
+        if (bi < 0) {
+            bi = static_cast<int>(lp.outbox.size());
+            lp.outbox.push_back({e, {}});
+        }
+        lp.outbox[bi].tokens.emplace_back(arrival, seq);
+    }
+
+    void
+    crossNode(const CrossRec &rec)
+    {
+        lp.deferred.push_back(rec);
+    }
+};
+
+/** Run one LP for one round: expand the inbox, fire the sources on
+ *  round 0, then drain the heap strictly below the ceiling. */
+void
+runLp(const SimSetup &S, RunState &R, Lp &lp, Shard &sh, bool first,
+      Ctl &ctl)
+{
+    obs::Tracer &tracer = obs::Tracer::instance();
+    const bool tracing = tracer.enabled();
+    const double t0 = tracing ? tracer.nowMicros() : 0.0;
+
+    for (const Burst &b : lp.inbox) {
+        for (const auto &tok : b.tokens)
+            lp.heap.push({tok.first, b.e, tok.second});
+    }
+    lp.inbox.clear();
+
+    ParSink sink{S, lp, sh.dev};
+    if (first) {
+        for (VertexId v : S.deviceVertices[sh.dev]) {
+            fireVertex(S, R, sh, v, 0.0,
+                       EventKey{0.0, -1,
+                                static_cast<std::uint64_t>(v)},
+                       sink);
+        }
+    }
+
+    const Seconds ceiling = lp.ceiling;
+    const Context &ctx = S.options->ctx;
+    while (!lp.heap.empty() && lp.heap.top().time < ceiling) {
+        if ((sh.processed & 0x3FF) == 0 &&
+            ctl.stop.load(std::memory_order_relaxed))
+            break;
+        if ((sh.processed & 0xFFF) == 0 && ctx.done()) {
+            ctl.abort(ctx.status());
+            break;
+        }
+        // Livelock guard: a zero-latency local cycle never crosses a
+        // barrier, so the cap must also trip inside the window.
+        if (sh.processed >= S.options->maxEvents) {
+            ctl.abort(Status::resourceExhausted(
+                "event cap exceeded (%llu) — check block counts",
+                static_cast<unsigned long long>(
+                    S.options->maxEvents)));
+            break;
+        }
+        const EventKey ev = lp.heap.top();
+        lp.heap.pop();
+        ++sh.processed;
+        applyArrival(S, R, ev.edge);
+        fireVertex(S, R, sh, S.edges[ev.edge].dst, ev.time, ev, sink);
+    }
+
+    // Close this round's bursts so the next round opens fresh ones.
+    for (const Burst &b : lp.outbox)
+        lp.burstIdx[b.e] = -1;
+
+    if (tracing) {
+        const double dur = tracer.nowMicros() - t0;
+        lp.busyMicros += dur;
+        tracer.record({'X', "sim", lp.traceName, t0, dur, {}});
+    }
+}
+
+} // namespace
+
+ParStats
+runParallel(const SimSetup &S, RunState &R, int threads)
+{
+    ParStats stats;
+    const int D = S.numDevices;
+    if (threads < 1)
+        threads = 1;
+
+    Ctl ctl;
+    std::vector<Lp> lps(D);
+    const bool tracing = obs::Tracer::instance().enabled();
+    for (DeviceId d = 0; d < D; ++d) {
+        lps[d].burstIdx.assign(S.numEdges, -1);
+        if (tracing)
+            lps[d].traceName = "sim.lp.d" + std::to_string(d);
+    }
+    ctl.active.resize(D);
+
+    // Helpers: at most one per LP beyond the orchestrator, and no
+    // more than the pool has workers (extra spinning tasks would only
+    // sit in the queue). The engine never *waits* on a helper getting
+    // scheduled — the orchestrator claims whatever is left — so a
+    // busy pool degrades throughput, not liveness.
+    int helpers = std::min(threads, D) - 1;
+    std::optional<ThreadPool> ownPool;
+    ThreadPool *pool = nullptr;
+    if (helpers > 0) {
+        if (S.options->numThreads > 0) {
+            ownPool.emplace(helpers);
+            pool = &*ownPool;
+        } else {
+            pool = &ThreadPool::defaultPool();
+        }
+        helpers = std::min(helpers, pool->size());
+    }
+    stats.threads = helpers + 1;
+    const std::uint64_t steals0 = pool ? pool->stealCount() : 0;
+
+    const auto claim = [&]() {
+        for (;;) {
+            const int i =
+                ctl.workIdx.fetch_add(1, std::memory_order_acq_rel);
+            if (i >= ctl.activeCount.load(std::memory_order_relaxed))
+                return;
+            const DeviceId d = ctl.active[i];
+            runLp(S, R, lps[d], R.shards[d], ctl.first, ctl);
+            ctl.completed.fetch_add(1, std::memory_order_release);
+        }
+    };
+
+    std::optional<TaskGroup> group;
+    if (helpers > 0) {
+        group.emplace(*pool);
+        for (int h = 0; h < helpers; ++h) {
+            group->run([&ctl, &claim]() {
+                std::uint64_t seen = 0;
+                while (!ctl.done.load(std::memory_order_acquire)) {
+                    const std::uint64_t r =
+                        ctl.round.load(std::memory_order_acquire);
+                    if (r == seen) {
+                        std::this_thread::yield();
+                        continue;
+                    }
+                    seen = r;
+                    claim();
+                }
+            });
+        }
+    }
+
+    const Context &ctx = S.options->ctx;
+    std::vector<CrossRec> pending;
+    std::vector<EventKey> keys(D);
+
+    for (;;) {
+        if (ctl.stop.load(std::memory_order_relaxed))
+            break;
+        if (ctx.done()) {
+            ctl.abort(ctx.status());
+            break;
+        }
+        {
+            std::uint64_t processed = 0;
+            for (const Shard &sh : R.shards)
+                processed += sh.processed;
+            stats.events = processed;
+            if (processed >= S.options->maxEvents) {
+                ctl.abort(Status::resourceExhausted(
+                    "event cap exceeded (%llu) — check block counts",
+                    static_cast<unsigned long long>(
+                        S.options->maxEvents)));
+                break;
+            }
+        }
+
+        // Floor of this window: the globally smallest pending event.
+        EventKey minKey = infKey();
+        for (DeviceId d = 0; d < D; ++d) {
+            keys[d] = nextKey(lps[d]);
+            if (keys[d] < minKey)
+                minKey = keys[d];
+        }
+        const Seconds floor = ctl.first ? 0.0 : minKey.time;
+        if (!ctl.first && floor == kInfTime && pending.empty())
+            break; // drained
+
+        int ac = 0;
+        for (DeviceId d = 0; d < D; ++d) {
+            const Seconds la = S.lpLookahead[d];
+            lps[d].ceiling = la == kInfTime ? kInfTime : floor + la;
+            const bool hasWork =
+                ctl.first ? !S.deviceVertices[d].empty() ||
+                                keys[d].time < kInfTime
+                          : keys[d].time < lps[d].ceiling;
+            if (hasWork)
+                ctl.active[ac++] = d;
+            else if (keys[d].time < kInfTime)
+                ++stats.nullAdvances;
+        }
+
+        if (ac > 0) {
+            // Publish the round: state writes first, then the
+            // release store to workIdx that claimants acquire.
+            ctl.completed.store(0, std::memory_order_relaxed);
+            ctl.activeCount.store(ac, std::memory_order_relaxed);
+            ctl.workIdx.store(0, std::memory_order_release);
+            ctl.round.fetch_add(1, std::memory_order_release);
+            claim();
+            while (ctl.completed.load(std::memory_order_acquire) !=
+                   ac)
+                std::this_thread::yield();
+        }
+        ctl.first = false;
+        ++stats.windows;
+
+        // Barrier, phase 1: hand this round's bursts to their
+        // destination LPs, in device order.
+        for (DeviceId d = 0; d < D; ++d) {
+            for (Burst &b : lps[d].outbox) {
+                stats.coalescedTokens += b.tokens.size() - 1;
+                lps[S.edges[b.e].ddev].inbox.push_back(std::move(b));
+            }
+            lps[d].outbox.clear();
+            for (CrossRec &rec : lps[d].deferred)
+                pending.push_back(rec);
+            lps[d].deferred.clear();
+        }
+
+        // Barrier, phase 2: commit cross-node emissions in global
+        // (trig, fire, slot) order up to the horizon H. H starts at
+        // the smallest pending event key — any record an LP has not
+        // yet produced must trigger at or above it — and is lowered
+        // to each committed delivery's arrival key, because that
+        // delivery may enable earlier-keyed emissions in a later
+        // round. Records at or above H carry over; when every heap
+        // is empty H is infinite and the backlog fully drains.
+        if (!pending.empty()) {
+            std::sort(pending.begin(), pending.end());
+            EventKey h = infKey();
+            for (DeviceId d = 0; d < D; ++d) {
+                const EventKey k = nextKey(lps[d]);
+                if (k < h)
+                    h = k;
+            }
+            std::size_t i = 0;
+            while (i < pending.size() && pending[i].trig < h) {
+                const CrossRec &rec = pending[i];
+                processCrossNode(
+                    S, R, rec,
+                    [&](EdgeId e, Seconds arrival,
+                        std::uint64_t seq) {
+                        lps[S.edges[e].ddev].inbox.push_back(
+                            {e, {{arrival, seq}}});
+                        const EventKey ak{arrival, e, seq};
+                        if (ak < h)
+                            h = ak;
+                    });
+                ++stats.crossCommits;
+                ++i;
+            }
+            pending.erase(pending.begin(),
+                          pending.begin() +
+                              static_cast<std::ptrdiff_t>(i));
+        }
+    }
+
+    ctl.done.store(true, std::memory_order_release);
+    if (group)
+        group->wait();
+
+    {
+        std::lock_guard<std::mutex> lock(ctl.statusMu);
+        R.status = ctl.status;
+    }
+    std::uint64_t processed = 0;
+    for (const Shard &sh : R.shards)
+        processed += sh.processed;
+    stats.events = processed;
+    if (pool)
+        stats.steals = pool->stealCount() - steals0;
+    if (tracing) {
+        stats.lpBusyMicros.resize(D);
+        for (DeviceId d = 0; d < D; ++d)
+            stats.lpBusyMicros[d] = lps[d].busyMicros;
+    }
+    return stats;
+}
+
+} // namespace tapacs::sim::detail

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Logical-process types of the parallel simulation engine.
+ *
+ * The parallel engine decomposes a run into one logical process (LP)
+ * per FPGA device. An LP owns its device's Shard plus the dst-side
+ * token state of its incoming edges, keeps a local event heap and a
+ * local clock, and exchanges timestamped tokens with other LPs
+ * through outbox/inbox burst buffers that are handed over only at
+ * round barriers.
+ *
+ * Rounds are conservative windows (YAWNS-style): the orchestrator
+ * computes the floor — the minimum next-event time over all LPs —
+ * and lets every LP whose next event lies below its private ceiling
+ * `floor + lpLookahead[d]` drain its heap up to that ceiling. The
+ * lookahead comes from the link latency models
+ * (Cluster::deliveryLookahead): any token another LP has not yet sent
+ * must trigger at >= floor and therefore cannot arrive before the
+ * ceiling. Advancing the floor directly to the next event time is
+ * what makes the engine clockless — idle gaps cost one round, not
+ * simulated ticks.
+ *
+ * Cross-node emissions are not sent point-to-point: they serialize on
+ * shared node-pair pipes, so LPs defer them as CrossRecs and the
+ * orchestrator commits them in global (trigger, fire, slot) order at
+ * the barrier, up to a dynamic horizon that guarantees no
+ * earlier-keyed record can still be produced (see lp.cc).
+ */
+
+#ifndef TAPACS_SIM_LP_HH
+#define TAPACS_SIM_LP_HH
+
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/engine.hh"
+
+namespace tapacs::sim::detail
+{
+
+using MinHeap = std::priority_queue<EventKey, std::vector<EventKey>,
+                                    std::greater<EventKey>>;
+
+/**
+ * A coalesced batch of same-edge tokens produced within one round.
+ * The producer appends (arrival, seq) pairs in emission order —
+ * arrival times are nondecreasing within a round because the sending
+ * servers serialize — and the consumer expands the burst into its
+ * heap when its window opens. One burst crosses the barrier as one
+ * message regardless of how many tokens ride it.
+ */
+struct Burst
+{
+    EdgeId e = -1;
+    std::vector<std::pair<Seconds, std::uint64_t>> tokens;
+};
+
+/** Scheduling state of one logical process (its mutable simulation
+ *  state lives in Shard / RunState, single-owner per invariant 1 of
+ *  engine.hh). */
+struct Lp
+{
+    MinHeap heap;
+    /** Bursts delivered by other LPs / the commit phase; expanded
+     *  into the heap when this LP next runs. Written only at
+     *  barriers. */
+    std::vector<Burst> inbox;
+    /** Bursts produced this round, one per destination edge. */
+    std::vector<Burst> outbox;
+    /** Per-edge index into outbox (-1 = no open burst); entries used
+     *  this round are reset by the LP before the barrier. */
+    std::vector<int> burstIdx;
+    /** Cross-node emissions deferred to the barrier commit phase. */
+    std::vector<CrossRec> deferred;
+    /** Exclusive upper bound on event times this round. */
+    Seconds ceiling = 0.0;
+    /** Wall-clock busy time, sampled only while tracing. */
+    double busyMicros = 0.0;
+    /** Trace track name ("sim.lp.d<N>"), built once. */
+    std::string traceName;
+};
+
+} // namespace tapacs::sim::detail
+
+#endif // TAPACS_SIM_LP_HH

@@ -247,6 +247,31 @@ TEST(Manifest, MalformedLinesBecomeDiagnosticsAndParsingContinues)
         EXPECT_FALSE(d.message.empty());
 }
 
+TEST(Manifest, SimulateKeysParseAndValidate)
+{
+    const serve::ParsedManifest ok = serve::parseManifest(
+        "request a workload=stencil simulate=1 sim_engine=parallel\n"
+        "request b workload=stencil simulate=0\n"
+        "request c workload=stencil\n");
+    ASSERT_TRUE(ok.clean());
+    ASSERT_EQ(ok.requests.size(), 3u);
+    EXPECT_TRUE(ok.requests[0].simulate);
+    EXPECT_EQ(ok.requests[0].simEngine, "parallel");
+    EXPECT_FALSE(ok.requests[1].simulate);
+    EXPECT_FALSE(ok.requests[2].simulate);
+    EXPECT_TRUE(ok.requests[2].simEngine.empty());
+
+    const serve::ParsedManifest bad = serve::parseManifest(
+        "request a workload=stencil simulate=2\n"
+        "request b workload=stencil sim_engine=fast\n");
+    EXPECT_TRUE(bad.requests.empty());
+    ASSERT_EQ(bad.diagnostics.size(), 2u);
+    EXPECT_NE(bad.diagnostics[0].message.find("simulate"),
+              std::string::npos);
+    EXPECT_NE(bad.diagnostics[1].message.find("sim_engine"),
+              std::string::npos);
+}
+
 /** Seeded mutation fuzz: the parser must survive (and stay
  *  deterministic over) arbitrary corruptions of a valid manifest. */
 TEST(Manifest, SeededMutationFuzzNeverCrashesAndIsDeterministic)
@@ -563,6 +588,56 @@ TEST(CompileService, PagerankScaleChangesTheWorkload)
     // The synthetic dataset is far smaller than the Table 5 default,
     // so the edge-stream traffic over the cut must differ.
     EXPECT_NE(outcomes[0].cutTrafficBytes, outcomes[1].cutTrafficBytes);
+}
+
+TEST(CompileService, SimulatedRequestReportsMakespanOnBothEngines)
+{
+    serve::ServeOptions sopt;
+    sopt.threads = 1;
+    serve::CompileService service(sopt);
+    serve::Request serial = quickRequest("sim-serial");
+    serial.fpgas = 4;
+    serial.mode = CompileMode::TapaCs;
+    serial.simulate = true;
+    serve::Request par = serial;
+    par.name = "sim-parallel";
+    par.simEngine = "parallel";
+    ASSERT_TRUE(service.submit(serial).ok());
+    ASSERT_TRUE(service.submit(par).ok());
+    const std::vector<serve::ServeOutcome> outcomes = service.finish();
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const serve::ServeOutcome &o : outcomes) {
+        EXPECT_TRUE(o.status.ok()) << o.failureReason;
+        EXPECT_TRUE(o.routable);
+        EXPECT_TRUE(o.simulated);
+        EXPECT_GT(o.simMakespan, 0.0);
+    }
+    // Engine choice must not change the answer — the parallel engine
+    // is bit-identical to the serial reference.
+    EXPECT_DOUBLE_EQ(outcomes[0].simMakespan, outcomes[1].simMakespan);
+}
+
+TEST(CompileService, ExpiredDeadlineOnSimulatedRequestIsTyped)
+{
+    serve::ServeOptions sopt;
+    sopt.threads = 1;
+    serve::CompileService service(sopt);
+    serve::Request req = quickRequest("sim-expired");
+    req.fpgas = 4;
+    req.mode = CompileMode::TapaCs;
+    req.simulate = true;
+    req.deadlineMs = 0.0; // pre-expired: deterministic abort path
+    ASSERT_TRUE(service.submit(req).ok());
+    const std::vector<serve::ServeOutcome> outcomes = service.finish();
+    ASSERT_EQ(outcomes.size(), 1u);
+    const serve::ServeOutcome &o = outcomes[0];
+    // The compile tier degrades and still routes; the simulation then
+    // observes the expired context on its first poll and reports the
+    // typed reason with whatever partial stats it gathered.
+    EXPECT_TRUE(o.routable);
+    EXPECT_TRUE(o.simulated);
+    EXPECT_EQ(o.status.code(), StatusCode::DeadlineExceeded)
+        << o.failureReason;
 }
 
 TEST(CompileService, RetriesAreBoundedAndCounted)

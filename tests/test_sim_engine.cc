@@ -1,0 +1,392 @@
+/**
+ * @file
+ * Determinism suite for the parallel simulation engine: the parallel
+ * engine must produce *bit-identical* SimResults to the serial engine
+ * — on the four paper workloads, healthy and under the golden fault
+ * scenario, at 1/2/4/8 threads — plus the typed abort paths
+ * (deadline, cancellation, event cap) and the trySimulate() error
+ * taxonomy that replaced fatal() on request-reachable inputs.
+ */
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "apps/cnn.hh"
+#include "apps/knn.hh"
+#include "apps/pagerank.hh"
+#include "apps/stencil.hh"
+#include "compiler/compiler.hh"
+#include "network/faults.hh"
+#include "obs/metrics.hh"
+#include "sim/dataflow_sim.hh"
+
+namespace tapacs
+{
+namespace
+{
+
+/** Exact (bitwise, not approximate) equality of two runs. */
+void
+expectIdentical(const sim::SimResult &a, const sim::SimResult &b,
+                const std::string &what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(a.status.code(), b.status.code());
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.makespan, b.makespan);
+    EXPECT_EQ(a.interDeviceBytes, b.interDeviceBytes);
+    EXPECT_EQ(a.taskFinish, b.taskFinish);
+    EXPECT_EQ(a.deviceComputeBusy, b.deviceComputeBusy);
+    EXPECT_EQ(a.deviceTaskCount, b.deviceTaskCount);
+    EXPECT_EQ(a.firedBlocks, b.firedBlocks);
+    EXPECT_EQ(a.deadDevices, b.deadDevices);
+    ASSERT_EQ(a.edgeComm.size(), b.edgeComm.size());
+    for (std::size_t e = 0; e < a.edgeComm.size(); ++e) {
+        SCOPED_TRACE("edge " + std::to_string(e));
+        EXPECT_EQ(a.edgeComm[e].messages, b.edgeComm[e].messages);
+        EXPECT_EQ(a.edgeComm[e].retries, b.edgeComm[e].retries);
+        EXPECT_EQ(a.edgeComm[e].timeouts, b.edgeComm[e].timeouts);
+        EXPECT_EQ(a.edgeComm[e].undelivered,
+                  b.edgeComm[e].undelivered);
+        EXPECT_EQ(a.edgeComm[e].backoffSeconds,
+                  b.edgeComm[e].backoffSeconds);
+        EXPECT_EQ(a.edgeComm[e].linkDownWaitSeconds,
+                  b.edgeComm[e].linkDownWaitSeconds);
+    }
+    for (const char *key :
+         {"events", "hbm.busy_seconds", "net.intra.transfers",
+          "net.inter.transfers", "net.undelivered", "net.retries",
+          "net.timeouts", "net.link_down_waits"}) {
+        SCOPED_TRACE(key);
+        EXPECT_EQ(a.stats.has(key), b.stats.has(key));
+        EXPECT_EQ(a.stats.get(key), b.stats.get(key));
+    }
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+        SCOPED_TRACE("firing " + std::to_string(i));
+        EXPECT_EQ(a.timeline[i].task, b.timeline[i].task);
+        EXPECT_EQ(a.timeline[i].block, b.timeline[i].block);
+        EXPECT_EQ(a.timeline[i].start, b.timeline[i].start);
+        EXPECT_EQ(a.timeline[i].readDone, b.timeline[i].readDone);
+        EXPECT_EQ(a.timeline[i].computeStart,
+                  b.timeline[i].computeStart);
+        EXPECT_EQ(a.timeline[i].computeDone,
+                  b.timeline[i].computeDone);
+        EXPECT_EQ(a.timeline[i].writeDone, b.timeline[i].writeDone);
+    }
+}
+
+/** The golden scenario of tools/tapacs_golden.cc. */
+FaultPlan
+goldenFaultPlan()
+{
+    FaultPlan plan(20260807);
+    plan.degradeLink(0, 1, 0.0, 0.5)
+        .dropLink(0, 1, 0.0, 0.02)
+        .flapLink(0, 1, 1e-3, 2e-3);
+    return plan;
+}
+
+/** One compiled placement, runnable under either engine. */
+struct CompiledDesign
+{
+    TaskGraph g{"x"};
+    Cluster cluster = makePaperTestbed(2);
+    DevicePartition partition;
+    HbmBinding binding;
+    PipelinePlan pipeline;
+    std::vector<Hertz> deviceFmax;
+
+    sim::SimResult
+    run(sim::SimEngine engine, int threads,
+        const FaultPlan *faults) const
+    {
+        sim::SimOptions opt;
+        opt.engine = engine;
+        opt.numThreads = threads;
+        opt.faults = faults;
+        opt.exportMetrics = false;
+        opt.recordTimeline = true;
+        return sim::simulate(g, cluster, partition, binding, pipeline,
+                             deviceFmax, opt);
+    }
+};
+
+CompiledDesign
+compileApp(apps::AppDesign design, int fpgas)
+{
+    CompiledDesign out;
+    out.g = std::move(design.graph);
+    out.cluster = makePaperTestbed(fpgas);
+    CompileOptions opt;
+    opt.mode = CompileMode::TapaCs;
+    opt.numFpgas = fpgas;
+    const CompileResult r =
+        compileProgram(out.g, design.tasks, out.cluster, opt);
+    EXPECT_TRUE(r.routable) << r.failureReason;
+    out.partition = r.partition;
+    out.binding = r.binding;
+    out.pipeline = r.pipeline;
+    out.deviceFmax = r.deviceFmax;
+    return out;
+}
+
+std::vector<std::pair<std::string, CompiledDesign>>
+paperDesigns()
+{
+    std::vector<std::pair<std::string, CompiledDesign>> out;
+    out.emplace_back("stencil",
+                     compileApp(apps::buildStencil(
+                                    apps::StencilConfig::scaled(64, 2)),
+                                2));
+    out.emplace_back(
+        "pagerank",
+        compileApp(apps::buildPageRank(apps::PageRankConfig::scaled(
+                       apps::pagerankDatasets()[0], 2)),
+                   2));
+    out.emplace_back(
+        "knn",
+        compileApp(apps::buildKnn(apps::KnnConfig::scaled(1'000'000,
+                                                          2, 2)),
+                   2));
+    apps::CnnConfig cnn;
+    cnn.rows = 4;
+    cnn.cols = 4;
+    cnn.numFpgas = 2;
+    cnn.batch = 4;
+    cnn.numBlocks = 8;
+    out.emplace_back("cnn", compileApp(apps::buildCnn(cnn), 2));
+    return out;
+}
+
+/** Hand-placed pipeline across both nodes of an 8-FPGA testbed —
+ *  exercises the cross-node commit phase no 2-FPGA workload reaches. */
+CompiledDesign
+crossNodeChain()
+{
+    CompiledDesign out;
+    out.g = TaskGraph("xnode");
+    out.cluster = makePaperTestbed(8);
+    const int tasks = 8;
+    VertexId prev = -1;
+    for (int i = 0; i < tasks; ++i) {
+        WorkProfile w;
+        w.computeOps = 2.0e6 + 1.0e5 * i;
+        w.numBlocks = 16;
+        const VertexId v =
+            out.g.addVertex("t" + std::to_string(i), ResourceVector{},
+                            w);
+        out.partition.deviceOf.push_back(i); // device i: spans nodes
+        if (prev >= 0)
+            out.g.addEdge(prev, v, 64, 4.0e5);
+        prev = v;
+    }
+    out.binding.channelsOf.assign(tasks, {});
+    out.binding.usersPerChannel.assign(
+        8, std::vector<int>(out.cluster.device().memory().channels, 0));
+    out.pipeline.edges.assign(out.g.numEdges(), EdgePipelining{});
+    out.pipeline.addedAreaPerDevice.assign(8, ResourceVector{});
+    out.deviceFmax.assign(8, 300.0e6);
+    return out;
+}
+
+void
+checkEngineEquivalence(const CompiledDesign &d, const FaultPlan *plan,
+                       const std::string &what)
+{
+    const sim::SimResult serial =
+        d.run(sim::SimEngine::Serial, 1, plan);
+    EXPECT_TRUE(serial.status.ok()) << serial.status.toString();
+    for (const int threads : {1, 2, 4, 8}) {
+        const sim::SimResult par =
+            d.run(sim::SimEngine::Parallel, threads, plan);
+        expectIdentical(serial, par,
+                        what + " x" + std::to_string(threads));
+    }
+}
+
+TEST(SimEngine, GoldenWorkloadsBitIdenticalAcrossEngines)
+{
+    const FaultPlan plan = goldenFaultPlan();
+    for (const auto &[name, design] : paperDesigns()) {
+        checkEngineEquivalence(design, nullptr, name + "/healthy");
+        checkEngineEquivalence(design, &plan, name + "/faulted");
+    }
+}
+
+TEST(SimEngine, CrossNodeChainBitIdenticalAcrossEngines)
+{
+    const CompiledDesign d = crossNodeChain();
+    checkEngineEquivalence(d, nullptr, "xnode/healthy");
+
+    FaultPlan plan(20260807);
+    plan.degradeLink(3, 4, 0.0, 0.5) // the node boundary
+        .dropLink(3, 4, 0.0, 0.02)
+        .jitterLink(0, 1, 0.0, 2e-6);
+    checkEngineEquivalence(d, &plan, "xnode/faulted");
+}
+
+TEST(SimEngine, DeadlineExceededIsTypedInBothEngines)
+{
+    const CompiledDesign d = crossNodeChain();
+    for (const sim::SimEngine engine :
+         {sim::SimEngine::Serial, sim::SimEngine::Parallel}) {
+        sim::SimOptions opt;
+        opt.engine = engine;
+        opt.exportMetrics = false;
+        opt.ctx = Context::withTimeout(0.0); // already expired
+        const StatusOr<sim::SimResult> r =
+            sim::trySimulate(d.g, d.cluster, d.partition, d.binding,
+                             d.pipeline, d.deviceFmax, opt);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r.value().status.code(),
+                  StatusCode::DeadlineExceeded)
+            << toString(engine);
+        EXPECT_FALSE(r.value().completed);
+    }
+}
+
+TEST(SimEngine, CancellationIsTypedInBothEngines)
+{
+    const CompiledDesign d = crossNodeChain();
+    for (const sim::SimEngine engine :
+         {sim::SimEngine::Serial, sim::SimEngine::Parallel}) {
+        sim::SimOptions opt;
+        opt.engine = engine;
+        opt.exportMetrics = false;
+        opt.ctx = Context::cancellable();
+        opt.ctx.cancel();
+        const StatusOr<sim::SimResult> r =
+            sim::trySimulate(d.g, d.cluster, d.partition, d.binding,
+                             d.pipeline, d.deviceFmax, opt);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r.value().status.code(), StatusCode::Cancelled)
+            << toString(engine);
+    }
+}
+
+TEST(SimEngine, EventCapIsTypedInBothEngines)
+{
+    const CompiledDesign d = crossNodeChain();
+    for (const sim::SimEngine engine :
+         {sim::SimEngine::Serial, sim::SimEngine::Parallel}) {
+        sim::SimOptions opt;
+        opt.engine = engine;
+        opt.exportMetrics = false;
+        opt.maxEvents = 4;
+        const StatusOr<sim::SimResult> r =
+            sim::trySimulate(d.g, d.cluster, d.partition, d.binding,
+                             d.pipeline, d.deviceFmax, opt);
+        ASSERT_TRUE(r.ok());
+        EXPECT_EQ(r.value().status.code(),
+                  StatusCode::ResourceExhausted)
+            << toString(engine);
+        EXPECT_NE(r.value().status.message().find("event cap"),
+                  std::string::npos);
+    }
+}
+
+TEST(SimEngine, TrySimulateReturnsInvalidInputInsteadOfFatal)
+{
+    // Non-integral rate ratio: 3 blocks feeding 2.
+    CompiledDesign d;
+    d.g = TaskGraph("bad");
+    d.cluster = makePaperTestbed(1);
+    WorkProfile w3;
+    w3.computeOps = 1e6;
+    w3.numBlocks = 3;
+    WorkProfile w2 = w3;
+    w2.numBlocks = 2;
+    const VertexId a = d.g.addVertex("a", ResourceVector{}, w3);
+    const VertexId b = d.g.addVertex("b", ResourceVector{}, w2);
+    d.g.addEdge(a, b, 32, 1e4);
+    d.partition.deviceOf = {0, 0};
+    d.binding.channelsOf.assign(2, {});
+    d.binding.usersPerChannel.assign(
+        1, std::vector<int>(d.cluster.device().memory().channels, 0));
+    d.pipeline.edges.assign(1, EdgePipelining{});
+    d.pipeline.addedAreaPerDevice.assign(1, ResourceVector{});
+    d.deviceFmax.assign(1, 300.0e6);
+    StatusOr<sim::SimResult> r =
+        sim::trySimulate(d.g, d.cluster, d.partition, d.binding,
+                         d.pipeline, d.deviceFmax, {});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::InvalidInput);
+    EXPECT_NE(r.status().message().find("rate ratio"),
+              std::string::npos);
+
+    // Memory access with no bound channels.
+    CompiledDesign m;
+    m.g = TaskGraph("mem");
+    m.cluster = makePaperTestbed(1);
+    WorkProfile wm;
+    wm.computeOps = 1e6;
+    wm.numBlocks = 2;
+    wm.memReadBytes = 1e6; // but memChannels == 0
+    m.g.addVertex("m", ResourceVector{}, wm);
+    m.partition.deviceOf = {0};
+    m.binding.channelsOf.assign(1, {});
+    m.binding.usersPerChannel.assign(
+        1, std::vector<int>(m.cluster.device().memory().channels, 0));
+    m.pipeline.edges.assign(0, EdgePipelining{});
+    m.pipeline.addedAreaPerDevice.assign(1, ResourceVector{});
+    m.deviceFmax.assign(1, 300.0e6);
+    r = sim::trySimulate(m.g, m.cluster, m.partition, m.binding,
+                         m.pipeline, m.deviceFmax, {});
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::InvalidInput);
+    EXPECT_NE(r.status().message().find("binds no channels"),
+              std::string::npos);
+}
+
+TEST(SimEngine, EnvVarOverridesEngineSelection)
+{
+    const CompiledDesign d = crossNodeChain();
+    ASSERT_EQ(setenv("TAPACS_SIM_ENGINE", "parallel", 1), 0);
+    sim::SimOptions opt;
+    opt.engine = sim::SimEngine::Serial; // overridden by the env var
+    opt.exportMetrics = true;
+    const sim::SimResult r =
+        sim::simulate(d.g, d.cluster, d.partition, d.binding,
+                      d.pipeline, d.deviceFmax, opt);
+    unsetenv("TAPACS_SIM_ENGINE");
+    EXPECT_TRUE(r.completed);
+    // The parallel engine ran: its window counters were published.
+    EXPECT_GE(obs::MetricsRegistry::global()
+                  .gauge("tapacs.sim.par.windows")
+                  .value(),
+              1.0);
+    obs::MetricsRegistry::global().resetPrefix("tapacs.sim.");
+}
+
+TEST(SimEngine, ParallelFallsBackToSerialOnSingleDevice)
+{
+    // One device = one LP: the parallel request must still work (it
+    // silently runs the serial loop) and export no par counters.
+    CompiledDesign d;
+    d.g = TaskGraph("one");
+    d.cluster = makePaperTestbed(1);
+    WorkProfile w;
+    w.computeOps = 1e6;
+    w.numBlocks = 4;
+    const VertexId a = d.g.addVertex("a", ResourceVector{}, w);
+    const VertexId b = d.g.addVertex("b", ResourceVector{}, w);
+    d.g.addEdge(a, b, 32, 1e4);
+    d.partition.deviceOf = {0, 0};
+    d.binding.channelsOf.assign(2, {});
+    d.binding.usersPerChannel.assign(
+        1, std::vector<int>(d.cluster.device().memory().channels, 0));
+    d.pipeline.edges.assign(1, EdgePipelining{});
+    d.pipeline.addedAreaPerDevice.assign(1, ResourceVector{});
+    d.deviceFmax.assign(1, 300.0e6);
+
+    const sim::SimResult serial = d.run(sim::SimEngine::Serial, 1,
+                                        nullptr);
+    const sim::SimResult par = d.run(sim::SimEngine::Parallel, 4,
+                                     nullptr);
+    expectIdentical(serial, par, "single-device fallback");
+}
+
+} // namespace
+} // namespace tapacs

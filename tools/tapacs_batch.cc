@@ -269,19 +269,21 @@ main(int argc, char **argv)
     for (auto &s : shed)
         outcomes[s.first] = std::move(s.second);
 
-    std::printf("%-20s %-18s %6s %9s %12s %14s\n", "request", "status",
-                "tasks", "seconds", "fmax", "cut");
+    std::printf("%-20s %-18s %6s %9s %12s %14s %12s\n", "request",
+                "status", "tasks", "seconds", "fmax", "cut", "sim");
     int unrouted = 0;
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
         const serve::ServeOutcome &o = outcomes[i];
         if (!o.routable)
             ++unrouted;
-        std::printf("%-20s %-18s %6d %9.3f %12s %14s\n",
+        std::printf("%-20s %-18s %6d %9.3f %12s %14s %12s\n",
                     o.name.c_str(), statusLabel(o), o.tasks, o.seconds,
                     o.routable ? formatFrequency(o.fmax).c_str() : "-",
                     o.routable
                         ? formatBytes(o.cutTrafficBytes).c_str()
-                        : o.failureReason.c_str());
+                        : o.failureReason.c_str(),
+                    o.simulated ? formatSeconds(o.simMakespan).c_str()
+                                : "-");
     }
     std::printf("\n%zu execution(s) in %.3fs wall\n", outcomes.size(),
                 wall);

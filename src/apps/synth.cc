@@ -1,0 +1,108 @@
+#include "apps/synth.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/units.hh"
+
+namespace tapacs::apps
+{
+
+SynthConfig
+SynthConfig::scaled(int numModules, std::uint64_t seed)
+{
+    SynthConfig c;
+    c.numModules = numModules;
+    c.seed = seed;
+    return c;
+}
+
+AppDesign
+buildSynthetic(const SynthConfig &config)
+{
+    tapacs_assert(config.numModules >= 1);
+    tapacs_assert(config.fanoutAlpha > 0.0);
+    tapacs_assert(config.maxFanout >= 1);
+    tapacs_assert(config.localityWindow >= 1);
+    tapacs_assert(config.areaMeanLut > 0.0);
+    tapacs_assert(config.areaSpread >= 1.0);
+
+    const int n = config.numModules;
+    AppDesign app;
+    app.graph.setName(strprintf(
+        "synth-n%d-s%llu", n,
+        static_cast<unsigned long long>(config.seed)));
+    Rng rng(config.seed);
+
+    // FIFO widths follow the hardware's usual powers of two, biased
+    // narrow (most streams are scalars, a few are wide buses).
+    auto drawWidth = [&]() {
+        return 32 << (rng.powerLawInt(1, 5, 1.6) - 1);
+    };
+
+    tapacs_assert(config.memTasks >= 0);
+    const int memSpacing =
+        config.memTasks > 0 ? std::max(1, n / config.memTasks) : 0;
+
+    for (int v = 0; v < n; ++v) {
+        const double lut =
+            config.areaMeanLut *
+            std::exp(rng.uniformReal(-1.0, 1.0) *
+                     std::log(config.areaSpread));
+        ResourceVector area;
+        area[ResourceKind::Lut] = lut;
+        area[ResourceKind::Ff] = 1.9 * lut;
+        if (rng.uniformReal() < 0.25)
+            area[ResourceKind::Bram] = std::max(1.0, lut / 400.0);
+        if (rng.uniformReal() < 0.15)
+            area[ResourceKind::Dsp] = std::max(1.0, lut / 200.0);
+
+        WorkProfile work;
+        work.computeOps = lut * 2000.0;
+        work.opsPerCycle = 8.0;
+        work.numBlocks = 4;
+        // HBM readers sit every n/memTasks modules.
+        if (memSpacing > 0 && v % memSpacing == 0 &&
+            v / memSpacing < config.memTasks) {
+            work.memReadBytes =
+                static_cast<double>(rng.uniformInt(1, 8)) * 1_MiB;
+            work.memChannels =
+                static_cast<int>(rng.uniformInt(1, 2));
+        }
+        app.graph.addVertex(strprintf("t%d", v), area, work);
+        app.totalOps += work.computeOps;
+        app.totalMemBytes += work.memReadBytes;
+    }
+
+    // Backbone: every module past the first consumes from one earlier
+    // module inside the locality window — the graph is connected and
+    // acyclic by construction.
+    for (int v = 1; v < n; ++v) {
+        const int lo = std::max(0, v - config.localityWindow);
+        const int u = static_cast<int>(
+            rng.uniformInt(lo, v - 1));
+        const int width = drawWidth();
+        app.graph.addEdge(u, v, width, width / 8.0 * 4096.0);
+    }
+
+    // Power-law extra fanout: hubs broadcast to several downstream
+    // consumers (what HDN exclusion and replication exercise).
+    for (int v = 0; v < n - 1; ++v) {
+        const int extra = static_cast<int>(rng.powerLawInt(
+            1, config.maxFanout, config.fanoutAlpha)) - 1;
+        const int span = std::min(config.localityWindow, n - 1 - v);
+        for (int j = 0; j < extra; ++j) {
+            const int dst =
+                v + static_cast<int>(rng.uniformInt(1, span));
+            const int width = drawWidth();
+            app.graph.addEdge(v, dst, width, width / 8.0 * 4096.0);
+        }
+    }
+
+    app.graph.validate();
+    return app;
+}
+
+} // namespace tapacs::apps

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Synthetic task-graph generator for partitioner scaling studies.
+ *
+ * The four paper workloads top out at 493 modules — enough to
+ * validate quality against the exact ILP, useless for measuring how
+ * the multilevel partitioner scales. This generator produces seeded
+ * random designs up to 50k modules with the statistics that matter to
+ * a hypergraph partitioner: a connected DAG with locality (most FIFOs
+ * span nearby modules, so good cuts exist), power-law fanout (a few
+ * broadcast hubs, many point-to-point links — the hubs are what HDN
+ * exclusion and logic replication act on), log-uniform module areas
+ * and a configurable fraction of HBM-reading tasks that consume
+ * memory channels.
+ *
+ * Areas are stamped directly (no HLS estimation pass), so
+ * AppDesign::tasks stays empty and the graph is ready for level-1
+ * floorplanning as emitted. Fully deterministic for a given config.
+ */
+
+#ifndef TAPACS_APPS_SYNTH_HH
+#define TAPACS_APPS_SYNTH_HH
+
+#include <cstdint>
+
+#include "apps/app_design.hh"
+
+namespace tapacs::apps
+{
+
+/** Knobs for one synthetic design. */
+struct SynthConfig
+{
+    /** Modules in the graph (1 .. ~50k). */
+    int numModules = 5000;
+    /** RNG seed; same config -> bit-identical graph. */
+    std::uint64_t seed = 1;
+    /**
+     * Power-law exponent for module fanout: P(extra out-degree = k)
+     * ~ k^-alpha over [1, maxFanout]. Smaller alpha -> heavier hubs.
+     */
+    double fanoutAlpha = 2.0;
+    /** Largest extra out-degree a module may draw. */
+    int maxFanout = 64;
+    /** FIFO consumers land within this many ids downstream — the
+     *  locality that makes good cuts exist at all. */
+    int localityWindow = 200;
+    /** Mean module area in LUTs; FF/BRAM/DSP are derived. */
+    double areaMeanLut = 100.0;
+    /** Areas are log-uniform in [mean/spread, mean*spread]. */
+    double areaSpread = 4.0;
+    /** Modules that stream from HBM (binding 1-2 memory channels and
+     *  carrying memReadBytes), spread evenly over the graph. An
+     *  absolute count, not a fraction: physical channel capacity is
+     *  fixed per cluster, so a fraction would make every large graph
+     *  trivially infeasible. Clamped to numModules. */
+    int memTasks = 64;
+
+    /** Convenience: n modules with seed s, other knobs default. */
+    static SynthConfig scaled(int numModules, std::uint64_t seed = 1);
+};
+
+/** Generate the design (graph only; tasks empty, areas stamped). */
+AppDesign buildSynthetic(const SynthConfig &config);
+
+} // namespace tapacs::apps
+
+#endif // TAPACS_APPS_SYNTH_HH

@@ -250,6 +250,12 @@ interKey(const GraphFingerprint &fp, const Cluster &cluster, int numFpgas,
         .i64(options.channelsPerDevice)
         .i64(options.useIlp ? 1 : 0)
         .i64(static_cast<std::int64_t>(options.seed));
+    // Engine selection changes the artifact, so it is content.
+    // InterFpgaOptions::numThreads is deliberately absent: the
+    // multilevel backend is bit-identical at any thread count.
+    b.i64(options.backend == L1Backend::Multilevel ? 1 : 0)
+        .i64(options.replicate ? 1 : 0)
+        .i64(options.mlIlpVertexLimit);
     b.i64(static_cast<std::int64_t>(options.deviceAllowed.size()));
     for (char a : options.deviceAllowed)
         b.i64(a ? 1 : 0);
@@ -352,13 +358,15 @@ CompileCache::getInter(const CacheKey &key, const GraphFingerprint &fp,
         return false;
     EntryReader r(*blob);
     InterFpgaResult parsed;
-    std::int64_t nv = 0, coarse = 0;
-    if (!r.tag("inter1") || !r.i64(&nv) || !r.boolean(&parsed.feasible) ||
+    std::int64_t nv = 0, coarse = 0, levels = 0;
+    if (!r.tag("inter2") || !r.i64(&nv) || !r.boolean(&parsed.feasible) ||
         !r.f64(&parsed.cost) || !r.f64(&parsed.cutTrafficBytes) ||
         !r.f64(&parsed.elapsedSeconds) || !r.boolean(&parsed.ilpOptimal) ||
-        !r.i64(&coarse) || !readStats(r, &parsed.solverStats))
+        !r.i64(&coarse) || !r.i64(&levels) ||
+        !readStats(r, &parsed.solverStats))
         return false;
     parsed.coarseVertices = static_cast<int>(coarse);
+    parsed.levels = static_cast<int>(levels);
     // nv == 0 encodes an infeasible solve's empty partition.
     if (nv != 0 && nv != fp.numVertices())
         return false;
@@ -370,6 +378,26 @@ CompileCache::getInter(const CacheKey &key, const GraphFingerprint &fp,
         ranked[i] = static_cast<DeviceId>(d);
     }
     parsed.partition.deviceOf = fromRank(fp, ranked);
+    // Replication map: 0 or nv per-vertex device lists in rank order.
+    std::int64_t nr = 0;
+    if (!r.i64(&nr) || (nr != 0 && nr != nv))
+        return false;
+    if (nr != 0) {
+        std::vector<std::vector<DeviceId>> ranked_rep(nr);
+        for (std::int64_t i = 0; i < nr; ++i) {
+            std::int64_t count = 0;
+            if (!r.i64(&count) || count < 0)
+                return false;
+            ranked_rep[i].resize(count);
+            for (std::int64_t j = 0; j < count; ++j) {
+                std::int64_t d;
+                if (!r.i64(&d))
+                    return false;
+                ranked_rep[i][j] = static_cast<DeviceId>(d);
+            }
+        }
+        parsed.replication.extraDevicesOf = fromRank(fp, ranked_rep);
+    }
     *out = std::move(parsed);
     return true;
 }
@@ -384,8 +412,14 @@ CompileCache::putInter(const CacheKey &key, const GraphFingerprint &fp,
         warn("cache: inter-FPGA result size mismatch; not storing");
         return;
     }
+    if (!result.replication.extraDevicesOf.empty() &&
+        result.replication.extraDevicesOf.size() !=
+            result.partition.deviceOf.size()) {
+        warn("cache: replication map size mismatch; not storing");
+        return;
+    }
     EntryWriter w;
-    w.tag("inter1");
+    w.tag("inter2");
     w.i64(static_cast<std::int64_t>(result.partition.deviceOf.size()));
     w.i64(result.feasible ? 1 : 0);
     w.f64(result.cost);
@@ -393,9 +427,17 @@ CompileCache::putInter(const CacheKey &key, const GraphFingerprint &fp,
     w.f64(result.elapsedSeconds);
     w.i64(result.ilpOptimal ? 1 : 0);
     w.i64(result.coarseVertices);
+    w.i64(result.levels);
     writeStats(w, result.solverStats);
     for (DeviceId d : byRank(fp, result.partition.deviceOf))
         w.i64(d);
+    w.i64(static_cast<std::int64_t>(
+        result.replication.extraDevicesOf.size()));
+    for (const auto &devs : byRank(fp, result.replication.extraDevicesOf)) {
+        w.i64(static_cast<std::int64_t>(devs.size()));
+        for (DeviceId d : devs)
+            w.i64(d);
+    }
     store_.put(key, w.take());
 }
 

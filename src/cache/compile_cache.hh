@@ -50,7 +50,7 @@ namespace tapacs::cache
 
 /** Bumped whenever an entry format or key derivation changes, so
  *  stale on-disk tiers miss instead of misparsing. */
-constexpr int kSchemaVersion = 1;
+constexpr int kSchemaVersion = 2;
 
 /** Content key of one pre-synthesis task (includes the task name:
  *  synthesis results are joined back onto vertices by name). */

@@ -7,6 +7,8 @@
 #include "network/link.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "partition/multilevel.hh"
+#include "partition/replicate.hh"
 
 namespace tapacs
 {
@@ -284,7 +286,7 @@ compile(const TaskGraph &g, const Cluster &cluster,
                         .add();
                 }
             }
-            l1 = floorplanInterFpga(g, cluster, inter);
+            l1 = partition::solveL1(g, cluster, inter);
             if (cc != nullptr && !volatile_ctx) {
                 // A warm-started solve may sit on a different
                 // tied-optimal point than a cold one; keep it out of
@@ -311,7 +313,7 @@ compile(const TaskGraph &g, const Cluster &cluster,
             // any threshold-feasible partition is reachable greedily.
             InterFpgaOptions fallback = inter;
             fallback.useIlp = false;
-            InterFpgaResult retry = floorplanInterFpga(g, cluster,
+            InterFpgaResult retry = partition::solveL1(g, cluster,
                                                        fallback);
             if (retry.feasible) {
                 retry.solverStats.merge(l1.solverStats);
@@ -358,6 +360,31 @@ compile(const TaskGraph &g, const Cluster &cluster,
         out.l1Seconds = l1.elapsedSeconds;
         out.l1SolverStats = l1.solverStats;
         out.cutTrafficBytes = l1.cutTrafficBytes;
+        if (!l1.replication.empty()) {
+            // Materialize the replication plan: every later phase —
+            // placement, binding, pipelining, timing, simulation —
+            // consumes the expanded graph as if the app had been
+            // written with the copies in it.
+            obs::TraceSpan rep_span("compile", "phase3.replicate");
+            partition::ReplicatedDesign design =
+                partition::applyReplication(g, l1.partition,
+                                            l1.replication);
+            out.replication = l1.replication;
+            out.expandedGraph = std::move(design.graph);
+            out.partition = std::move(design.partition);
+            out.expandedOriginOf = std::move(design.originOf);
+            out.cutTrafficBytes = interFpgaTrafficBytes(
+                out.expandedGraph, out.partition);
+            rep_span
+                .arg("replicas", out.replication.totalReplicas())
+                .arg("cut_traffic_bytes", out.cutTrafficBytes);
+            if (cc != nullptr) {
+                // Phase-5 keys canonicalize per-vertex data through
+                // the fingerprint's rank order; with replicas in the
+                // partition the fingerprint must cover them too.
+                fp = cache::fingerprintGraph(out.expandedGraph);
+            }
+        }
     } else {
         // Single device: the fit gate for the TAPA modes is the same
         // threshold the floorplanner would enforce.
@@ -378,12 +405,17 @@ compile(const TaskGraph &g, const Cluster &cluster,
         out.partition.deviceOf.assign(g.numVertices(), 0);
     }
 
+    // Phases 5-7 operate on the design as it will be built: the
+    // replication-expanded graph when phase 3 produced one, the
+    // caller's graph otherwise.
+    const TaskGraph &dg = out.replicated() ? out.expandedGraph : g;
+
     // ---- Step 5: intra-FPGA floorplanning (eq. 4) -------------------
     {
         obs::TraceSpan span("compile", "phase5.intra_fpga");
         if (options.mode == CompileMode::VitisBaseline) {
-            out.placement = naivePackedPlacement(g, dev, out.partition);
-            out.binding = naiveBinding(g, cluster, out.partition);
+            out.placement = naivePackedPlacement(dg, dev, out.partition);
+            out.binding = naiveBinding(dg, cluster, out.partition);
         } else {
             IntraFpgaOptions intra = options.intra;
             intra.threshold = options.threshold;
@@ -415,9 +447,9 @@ compile(const TaskGraph &g, const Cluster &cluster,
             }
             if (!l2_cached) {
                 phase5.floorplan =
-                    floorplanIntraFpga(g, cluster, out.partition, intra);
+                    floorplanIntraFpga(dg, cluster, out.partition, intra);
                 phase5.binding =
-                    bindHbmChannels(g, cluster, out.partition,
+                    bindHbmChannels(dg, cluster, out.partition,
                                     phase5.floorplan.placement, bind_opt);
                 if (cc != nullptr && !volatile_ctx)
                     cc->putIntra(l2_key, fp, phase5);
@@ -457,7 +489,7 @@ compile(const TaskGraph &g, const Cluster &cluster,
             popt.stagesPerCrossing = 0;
             popt.balanceReconvergent = false;
         }
-        out.pipeline = planPipelining(g, cluster, out.partition,
+        out.pipeline = planPipelining(dg, cluster, out.partition,
                                       out.placement, popt);
         span.arg("register_bits", out.pipeline.totalRegisterBits)
             .arg("balance_bits", out.pipeline.totalBalanceBits);
@@ -465,8 +497,15 @@ compile(const TaskGraph &g, const Cluster &cluster,
 
     // ---- Step 7 stand-in: timing closure ----------------------------
     obs::TraceSpan timing_span("compile", "phase7.bitstream");
-    out.timing = estimateTiming(g, cluster, out.partition, out.placement,
-                                out.pipeline, fmaxCeiling,
+    // Replicas inherit their original's intrinsic fmax ceiling.
+    std::vector<Hertz> ceilings = fmaxCeiling;
+    if (out.replicated() && !fmaxCeiling.empty()) {
+        ceilings.resize(dg.numVertices());
+        for (VertexId v = g.numVertices(); v < dg.numVertices(); ++v)
+            ceilings[v] = fmaxCeiling[out.expandedOriginOf[v]];
+    }
+    out.timing = estimateTiming(dg, cluster, out.partition, out.placement,
+                                out.pipeline, ceilings,
                                 out.reservedPerDevice, options.timing,
                                 &out.binding);
     timing_span
@@ -489,7 +528,7 @@ compile(const TaskGraph &g, const Cluster &cluster,
     out.deviceFmax.resize(cluster.numDevices());
     for (DeviceId d = 0; d < cluster.numDevices(); ++d)
         out.deviceFmax[d] = out.timing.perDevice[d].fmax;
-    out.deviceAreas = perDeviceArea(g, cluster, out.partition);
+    out.deviceAreas = perDeviceArea(dg, cluster, out.partition);
     return out;
 }
 

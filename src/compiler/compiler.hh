@@ -169,6 +169,31 @@ struct CompileResult
     PipelinePlan pipeline;
     TimingResult timing;
 
+    /**
+     * Logic replication plan from the level-1 solve (non-empty only
+     * when InterFpgaOptions::replicate was set and replication paid
+     * off). When present, expandedGraph holds the materialized design
+     * — original vertices first with their ids preserved, replicas
+     * appended as "<name>@<device>" — and partition / placement /
+     * binding / pipeline / timing / deviceAreas all describe that
+     * expanded graph. Downstream consumers (simulation, constraint
+     * emission) must use expandedGraph instead of the input graph;
+     * replicated() says which. The *base* partition over the original
+     * vertices is the first numVertices() entries of
+     * partition.deviceOf (replication never moves an original).
+     */
+    ReplicationMap replication;
+    TaskGraph expandedGraph;
+    /** expanded vertex id -> original vertex id (identity prefix). */
+    std::vector<VertexId> expandedOriginOf;
+
+    /** True when replication expanded the design. */
+    bool
+    replicated() const
+    {
+        return !replication.empty();
+    }
+
     /** Design clock (min over devices). */
     Hertz fmax = 0.0;
     /** Per-device clock, for the simulator. */

@@ -150,32 +150,12 @@ coarsen(const TaskGraph &g, int limit, const ResourceVector &mergeCap,
     return cur;
 }
 
-/**
- * Per-resource capacity budget of one device: the eq. 1 threshold
- * minus reservations, further capped by the compute-balance share
- * (each device takes at most balanceSlack/F of the total design,
- * plus a small absolute allowance for indivisible modules).
- */
+/** Local shorthand for the shared public budget helper below. */
 ResourceVector
 deviceBudget(const TaskGraph &g, const Cluster &cluster,
              const InterFpgaOptions &opt)
 {
-    const ResourceVector full = cluster.device().totalResources();
-    ResourceVector cap = full;
-    cap *= opt.threshold;
-    cap -= opt.reserved;
-    // Balance the design over the devices that may actually host it.
-    const int f = opt.numAllowed(cluster.numDevices());
-    if (f > 1 && opt.balanceSlack > 0.0) {
-        const ResourceVector total = g.totalArea();
-        for (int r = 0; r < kNumResourceKinds; ++r) {
-            const auto kind = static_cast<ResourceKind>(r);
-            const double share = total[kind] * opt.balanceSlack / f +
-                                 0.02 * full[kind];
-            cap[kind] = std::min(cap[kind], share);
-        }
-    }
-    return cap;
+    return interFpgaDeviceBudget(g, cluster, opt);
 }
 
 /**
@@ -577,54 +557,81 @@ solveAssignmentIlp(const TaskGraph &g, const Cluster &cluster,
 
 } // namespace
 
-InterFpgaResult
-floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
-                   const InterFpgaOptions &options)
+const char *
+toString(L1Backend backend)
 {
-    const auto t0 = clock_type::now();
-    g.validate();
+    switch (backend) {
+      case L1Backend::Exact: return "exact";
+      case L1Backend::Multilevel: return "multilevel";
+    }
+    return "?";
+}
 
+ResourceVector
+interFpgaDeviceBudget(const TaskGraph &g, const Cluster &cluster,
+                      const InterFpgaOptions &opt)
+{
+    const ResourceVector full = cluster.device().totalResources();
+    ResourceVector cap = full;
+    cap *= opt.threshold;
+    cap -= opt.reserved;
+    // Balance the design over the devices that may actually host it.
+    const int f = opt.numAllowed(cluster.numDevices());
+    if (f > 1 && opt.balanceSlack > 0.0) {
+        const ResourceVector total = g.totalArea();
+        for (int r = 0; r < kNumResourceKinds; ++r) {
+            const auto kind = static_cast<ResourceKind>(r);
+            const double share = total[kind] * opt.balanceSlack / f +
+                                 0.02 * full[kind];
+            cap[kind] = std::min(cap[kind], share);
+        }
+    }
+    return cap;
+}
+
+bool
+checkInterFpgaInputs(const TaskGraph &g, const Cluster &cluster,
+                     const InterFpgaOptions &options, int *availOut,
+                     InterFpgaResult *out)
+{
     const int f = cluster.numDevices();
     if (!options.deviceAllowed.empty() &&
         static_cast<int>(options.deviceAllowed.size()) != f) {
-        InterFpgaResult out;
-        out.feasible = false;
-        out.status = Status::invalidInput(
+        out->feasible = false;
+        out->status = Status::invalidInput(
             "deviceAllowed mask covers %d devices but the cluster "
             "has %d",
             static_cast<int>(options.deviceAllowed.size()), f);
-        return out;
+        return false;
     }
     if (!options.hint.empty() &&
         static_cast<int>(options.hint.size()) != g.numVertices()) {
-        InterFpgaResult out;
-        out.feasible = false;
-        out.status = Status::invalidInput(
+        out->feasible = false;
+        out->status = Status::invalidInput(
             "warm-start hint covers %d vertices but the graph has %d",
             static_cast<int>(options.hint.size()), g.numVertices());
-        return out;
+        return false;
     }
     const int avail = options.numAllowed(f);
     if (avail == 0) {
         warn("no usable device left for '%s' — every FPGA excluded",
              g.name().c_str());
-        InterFpgaResult out;
-        out.feasible = false;
-        out.status = Status::infeasible(
+        out->feasible = false;
+        out->status = Status::infeasible(
             "no usable device left for '%s'", g.name().c_str());
-        return out;
+        return false;
     }
-    const ResourceVector budget = deviceBudget(g, cluster, options);
+    const ResourceVector budget =
+        interFpgaDeviceBudget(g, cluster, options);
     for (int r = 0; r < kNumResourceKinds; ++r) {
         const auto kind = static_cast<ResourceKind>(r);
         if (budget[kind] < 0.0) {
-            InterFpgaResult out;
-            out.feasible = false;
-            out.status = Status::invalidInput(
+            out->feasible = false;
+            out->status = Status::invalidInput(
                 "reserved resources exceed the per-device budget "
                 "for %s",
                 toString(kind));
-            return out;
+            return false;
         }
         const double need = g.totalArea()[kind];
         if (need > budget[kind] * avail + 1e-9) {
@@ -632,14 +639,13 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
                  "%.0f under threshold %.2f — add FPGAs",
                  g.name().c_str(), need, toString(kind), avail,
                  budget[kind] * avail, options.threshold);
-            InterFpgaResult out;
-            out.feasible = false;
-            out.status = Status::infeasible(
+            out->feasible = false;
+            out->status = Status::infeasible(
                 "design '%s' needs %.0f %s but %d device(s) offer "
                 "only %.0f under threshold %.2f",
                 g.name().c_str(), need, toString(kind), avail,
                 budget[kind] * avail, options.threshold);
-            return out;
+            return false;
         }
     }
     if (options.channelsPerDevice > 0) {
@@ -650,18 +656,36 @@ floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
             warn("design '%s' binds %d memory channels but %d device(s) "
                  "expose only %d", g.name().c_str(), total_ch, avail,
                  options.channelsPerDevice * avail);
-            InterFpgaResult out;
-            out.feasible = false;
-            out.status = Status::infeasible(
+            out->feasible = false;
+            out->status = Status::infeasible(
                 "design '%s' binds %d memory channels but %d "
                 "device(s) expose only %d",
                 g.name().c_str(), total_ch, avail,
                 options.channelsPerDevice * avail);
-            return out;
+            return false;
         }
+    }
+    *availOut = avail;
+    return true;
+}
+
+InterFpgaResult
+floorplanInterFpga(const TaskGraph &g, const Cluster &cluster,
+                   const InterFpgaOptions &options)
+{
+    const auto t0 = clock_type::now();
+    g.validate();
+
+    const int f = cluster.numDevices();
+    int avail = 0;
+    {
+        InterFpgaResult bad;
+        if (!checkInterFpgaInputs(g, cluster, options, &avail, &bad))
+            return bad;
     }
 
     InterFpgaResult out;
+    const ResourceVector budget = deviceBudget(g, cluster, options);
     Rng rng(options.seed);
 
     if (avail == 1) {

@@ -31,9 +31,32 @@
 namespace tapacs
 {
 
+/**
+ * Which level-1 engine solves the task -> FPGA assignment.
+ *
+ * Exact is this file's single-shot coarsen -> branch-and-bound ILP ->
+ * FM pipeline (paper-faithful, scales to a few hundred modules).
+ * Multilevel is the V-cycle hypergraph partitioner in src/partition/
+ * (coarsening hierarchy, coarsest-level greedy/ILP, boundary-FM
+ * refinement at every level, optional logic replication) for
+ * cluster-scale graphs. Dispatch happens in partition::solveL1 — the
+ * partition library layers above this one, so floorplanInterFpga
+ * itself always runs the exact engine regardless of this knob.
+ */
+enum class L1Backend
+{
+    Exact,
+    Multilevel,
+};
+
+const char *toString(L1Backend backend);
+
 /** Options for the level-1 floorplanner. */
 struct InterFpgaOptions
 {
+    /** Engine selection (see L1Backend; honored by
+     *  partition::solveL1). */
+    L1Backend backend = L1Backend::Exact;
     /** Utilization threshold T of eq. 1. */
     double threshold = 0.70;
     /**
@@ -92,6 +115,36 @@ struct InterFpgaOptions
      * communication saving exceeds this. Ignored when hint is empty.
      */
     double hintWeight = 64.0;
+    /**
+     * Also plan RePart-style logic replication after the base
+     * partition (honoured by partition::solveL1 for either backend;
+     * floorplanInterFpga itself ignores it) — replicate small high-fanout,
+     * memory-read-only tasks onto consumer devices when that reduces
+     * the inter-FPGA FIFO cut width. The replication map comes back
+     * in InterFpgaResult::replication; materializing it into an
+     * expanded graph is the compiler's job (partition::applyReplication).
+     */
+    bool replicate = false;
+    /**
+     * Worker threads for the multilevel backend's per-level gain
+     * computation. 0 = default pool size (TAPACS_THREADS / hardware
+     * concurrency); 1 = serial. Results are bit-identical at any
+     * thread count — gains are computed into index-ordered slots and
+     * applied serially in a deterministic order — so this knob is
+     * excluded from cache keys.
+     */
+    int numThreads = 0;
+    /**
+     * Multilevel backend: graphs with at most this many vertices are
+     * delegated to the exact engine wholesale — inside the
+     * branch-and-bound ILP's tractability window it is affordable and
+     * strictly higher quality than any coarsen/refine cycle. The four
+     * paper workloads (<= 493 modules) stay under it and get the
+     * exact solve bit-for-bit; cluster-scale graphs run the V-cycle
+     * (greedy coarse seed + per-level FM, no ILP), which is where the
+     * order-of-magnitude speedup over the exact backend comes from.
+     */
+    int mlIlpVertexLimit = 600;
 
     /** True if device @p d may host tasks under deviceAllowed. */
     bool
@@ -163,6 +216,16 @@ struct InterFpgaResult
     /** Branch-and-bound effort of the coarse ILP (zeroed in heuristic
      *  mode, where no ILP runs). */
     ilp::SolverStats solverStats;
+    /** Coarsening hierarchy depth (multilevel backend; 0 = exact). */
+    int levels = 0;
+    /**
+     * Logic replication plan (multilevel backend with replicate=true;
+     * empty otherwise). partition / cost / cutTrafficBytes above
+     * always describe the *base* partition without replication; the
+     * compiler applies the map (partition::applyReplication) and
+     * recomputes the cut on the expanded graph.
+     */
+    ReplicationMap replication;
 };
 
 /**
@@ -179,6 +242,28 @@ struct InterFpgaResult
 InterFpgaResult floorplanInterFpga(const TaskGraph &g,
                                    const Cluster &cluster,
                                    const InterFpgaOptions &options = {});
+
+/**
+ * Per-resource capacity budget of one device: the eq. 1 threshold
+ * minus reservations, further capped by the compute-balance share
+ * (each device takes at most balanceSlack/F of the total design plus
+ * a small absolute allowance for indivisible modules). Shared by both
+ * level-1 backends so feasibility means the same thing everywhere.
+ */
+ResourceVector interFpgaDeviceBudget(const TaskGraph &g,
+                                     const Cluster &cluster,
+                                     const InterFpgaOptions &options);
+
+/**
+ * Input validation shared by both level-1 backends: mask/hint sizes,
+ * non-negative budgets, aggregate area and channel fit. Returns true
+ * and sets *availOut (usable device count) when the inputs are sane;
+ * returns false with *out filled (feasible = false + typed status)
+ * otherwise.
+ */
+bool checkInterFpgaInputs(const TaskGraph &g, const Cluster &cluster,
+                          const InterFpgaOptions &options, int *availOut,
+                          InterFpgaResult *out);
 
 } // namespace tapacs
 

@@ -40,6 +40,17 @@ interFpgaTrafficBytes(const TaskGraph &g, const DevicePartition &p)
     return bytes;
 }
 
+double
+interFpgaCutWidthBits(const TaskGraph &g, const DevicePartition &p)
+{
+    double bits = 0.0;
+    for (const auto &e : g.edges()) {
+        if (p.deviceOf[e.src] != p.deviceOf[e.dst])
+            bits += e.widthBits;
+    }
+    return bits;
+}
+
 int
 cutEdgeCount(const TaskGraph &g, const DevicePartition &p)
 {

@@ -40,6 +40,52 @@ struct DevicePartition
     }
 };
 
+/**
+ * Optional logic-replication overlay on a DevicePartition (RePart
+ * style): extraDevicesOf[v] lists the devices that receive a copy of
+ * task v *in addition to* its primary device deviceOf[v]. A replica
+ * serves v's consumers on its own device locally, removing those FIFO
+ * edges from the cut; the replica re-reads v's inputs from the
+ * primary producers, which is what the replication planner charges as
+ * the duplication cost. Empty lists everywhere = no replication.
+ */
+struct ReplicationMap
+{
+    /** extraDevicesOf[v] = extra devices hosting a copy of vertex v,
+     *  sorted ascending, never containing the primary device. */
+    std::vector<std::vector<DeviceId>> extraDevicesOf;
+
+    /** True when no vertex is replicated (including the empty map). */
+    bool
+    empty() const
+    {
+        for (const auto &devs : extraDevicesOf) {
+            if (!devs.empty())
+                return false;
+        }
+        return true;
+    }
+
+    /** Total replica instances across all vertices. */
+    int
+    totalReplicas() const
+    {
+        int total = 0;
+        for (const auto &devs : extraDevicesOf)
+            total += static_cast<int>(devs.size());
+        return total;
+    }
+
+    bool operator==(const ReplicationMap &o) const
+    {
+        return extraDevicesOf == o.extraDevicesOf;
+    }
+    bool operator!=(const ReplicationMap &o) const
+    {
+        return !(*this == o);
+    }
+};
+
 /** Task -> slot assignment within its device (level-2 result). */
 struct SlotPlacement
 {
@@ -66,6 +112,14 @@ double interFpgaCost(const TaskGraph &g, const Cluster &cluster,
 
 /** Total bytes crossing device boundaries under a partition. */
 double interFpgaTrafficBytes(const TaskGraph &g,
+                             const DevicePartition &p);
+
+/**
+ * Total FIFO width (bits) crossing device boundaries — the quantity
+ * RePart-style replication minimizes. Unlike eq. 2 this does not
+ * weight by distance, so it is comparable across topologies.
+ */
+double interFpgaCutWidthBits(const TaskGraph &g,
                              const DevicePartition &p);
 
 /** Number of FIFO edges crossing device boundaries. */

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * RePart-style logic replication for the multilevel partitioner.
+ *
+ * After refinement, tasks that broadcast wide FIFOs across the cut
+ * can be *replicated*: a copy of the task is instantiated on a
+ * consumer device and the consumers there re-wire to the local copy,
+ * removing those FIFO edges from the cut entirely. The copy re-reads
+ * the task's inputs from the primary producers (duplicating the
+ * narrower input FIFOs across the cut) and re-runs its compute, so
+ * the transformation is profitable exactly when
+ *
+ *   save(v, r) =   sum over out-edges of v consumed on device r of
+ *                      width x costDistance(dev(v), r)
+ *                - sum over in-edges of v of
+ *                      width x costDistance(dev(src), r)
+ *
+ * is positive. Only memory-read-only tasks (work.memWriteBytes == 0,
+ * no self-loop) are candidates: duplicating a writer would double
+ * externally visible stores, while a reader only re-reads — its
+ * channel demand is duplicated on the replica device and checked
+ * against the channel cap, and its area against the same eq. 1
+ * budget the partitioner used.
+ *
+ * planReplication produces the map; applyReplication materializes it
+ * into an expanded TaskGraph (originals keep their ids, replicas are
+ * appended in deterministic (vertex, device) order) that L2
+ * placement, HBM binding, pipelining and the simulator consume
+ * unchanged — a replicated design simulates bit-deterministically
+ * because it is just a graph.
+ */
+
+#ifndef TAPACS_PARTITION_REPLICATE_HH
+#define TAPACS_PARTITION_REPLICATE_HH
+
+#include "floorplan/inter_fpga.hh"
+
+namespace tapacs::partition
+{
+
+/**
+ * Plan replication for a feasible partition. Greedy over candidate
+ * (vertex, device) pairs in (saving descending, vertex id, device id)
+ * order; every accepted replica's area/channel demand is committed,
+ * so the returned map never violates the budget or channel caps.
+ */
+ReplicationMap planReplication(const TaskGraph &g,
+                               const Cluster &cluster,
+                               const InterFpgaOptions &options,
+                               const DevicePartition &part);
+
+/** The expanded design a ReplicationMap materializes into. */
+struct ReplicatedDesign
+{
+    /** Original vertices first (ids preserved), then replicas in
+     *  (vertex, device) order, named "<name>@<device>". */
+    TaskGraph graph;
+    /** Device per expanded vertex (replicas on their extra device). */
+    DevicePartition partition;
+    /** originOf[v] = original vertex id (identity for originals). */
+    std::vector<VertexId> originOf;
+};
+
+/**
+ * Build the expanded graph: replicas copy their original's area and
+ * work profile, receive copies of all its in-edges (from the primary
+ * producers, initial tokens included), and take over the out-edges
+ * whose consumer sits on their device. Deterministic.
+ */
+ReplicatedDesign applyReplication(const TaskGraph &g,
+                                  const DevicePartition &part,
+                                  const ReplicationMap &replication);
+
+} // namespace tapacs::partition
+
+#endif // TAPACS_PARTITION_REPLICATE_HH

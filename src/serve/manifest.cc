@@ -225,6 +225,37 @@ parseManifest(const std::string &text)
                 } else {
                     req.simEngine = value;
                 }
+            } else if (key == "solver") {
+                if (value == "exact") {
+                    req.solver = L1Backend::Exact;
+                } else if (value == "multilevel") {
+                    req.solver = L1Backend::Multilevel;
+                } else {
+                    reject(strprintf("solver must be exact|multilevel, "
+                                     "got '%s'",
+                                     value.c_str()));
+                    bad = true;
+                }
+            } else if (key == "replicate") {
+                if (!parseInt(value, 0, 1, &n)) {
+                    reject(strprintf("replicate must be 0 or 1, got "
+                                     "'%s'", value.c_str()));
+                    bad = true;
+                } else {
+                    req.replicate = n != 0;
+                }
+            } else if (key == "coarse_limit") {
+                // 0 keeps the engine default; explicit values must be
+                // a sane coarsening target.
+                if (!parseInt(value, 0, 100'000, &n) ||
+                    (n != 0 && n < 2)) {
+                    reject(strprintf("coarse_limit must be 0 or in "
+                                     "[2, 100000], got '%s'",
+                                     value.c_str()));
+                    bad = true;
+                } else {
+                    req.coarseLimit = static_cast<int>(n);
+                }
             } else {
                 reject(strprintf("unknown key '%s'", key.c_str()));
                 bad = true;

@@ -31,6 +31,14 @@
  *       sim_engine=serial|parallel
  *                      event-loop engine for simulate=1 (default
  *                      serial; both produce identical results)
+ *       solver=exact|multilevel
+ *                      level-1 floorplanning engine (default exact;
+ *                      multilevel is the V-cycle hypergraph
+ *                      partitioner for cluster-scale graphs)
+ *       replicate=0|1  plan logic replication in the level-1 solve
+ *                      (default 0; meaningful with fpgas >= 2)
+ *       coarse_limit=N coarsening target for the level-1 solve
+ *                      (2..100000; 0 = engine default)
  */
 
 #ifndef TAPACS_SERVE_MANIFEST_HH
@@ -68,6 +76,13 @@ struct Request
     /** Engine for that simulation ("serial" | "parallel"; empty =
      *  serial). */
     std::string simEngine;
+    /** Level-1 floorplanning engine (solver=exact|multilevel). */
+    L1Backend solver = L1Backend::Exact;
+    /** Plan logic replication in the level-1 solve (replicate=1). */
+    bool replicate = false;
+    /** Level-1 coarsening target (coarse_limit=; 0 = engine
+     *  default). */
+    int coarseLimit = 0;
 };
 
 /** One rejected manifest line. */

@@ -282,6 +282,10 @@ CompileService::runAttempt(const Request &req, const Context &ctx)
     opt.cache = options_.cache;
     opt.cacheWarmStart = options_.warmStart;
     opt.ctx = ctx;
+    opt.inter.backend = req.solver;
+    opt.inter.replicate = req.replicate;
+    if (req.coarseLimit > 0)
+        opt.inter.coarseLimit = req.coarseLimit;
 
     Cluster cluster(makeU55C(), Topology(TopologyKind::Ring, 1), 1);
     Status st = tryMakePaperTestbed(req.fpgas, &cluster);
@@ -330,8 +334,12 @@ CompileService::runAttempt(const Request &req, const Context &ctx)
             sopt.engine = req.simEngine == "parallel"
                               ? sim::SimEngine::Parallel
                               : sim::SimEngine::Serial;
+            // A replicated design simulates as the expanded graph —
+            // the one placement/binding/pipelining actually describe.
+            const TaskGraph &simGraph =
+                result.replicated() ? result.expandedGraph : graph;
             const StatusOr<sim::SimResult> simmed = sim::trySimulate(
-                graph, cluster, result.partition, result.binding,
+                simGraph, cluster, result.partition, result.binding,
                 result.pipeline, result.deviceFmax, sopt);
             if (!simmed.ok()) {
                 // Shape/rate validation failed: the *request* is bad.

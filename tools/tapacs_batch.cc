@@ -23,6 +23,8 @@
  *                [--no-cache] [--cache-dir DIR] [--deadline-ms N]
  *                [--max-queue N] [--block-on-full] [--retries N]
  *                [--breaker-threshold N] [--strict]
+ *                [--solver exact|multilevel] [--replicate]
+ *                [--coarse-limit N]
  *
  *   --threads N           concurrent requests (default: pool size)
  *   --repeat N            global multiplier on every request's repeat
@@ -45,6 +47,10 @@
  *                         INTERNAL, with bounded exponential backoff
  *   --breaker-threshold N consecutive failures that open the circuit
  *                         breaker (0 = disabled)
+ *   --solver S            override every request's level-1 engine
+ *                         (exact | multilevel)
+ *   --replicate           force replicate=1 on every request
+ *   --coarse-limit N      override every request's coarse_limit
  *   --strict              exit 1 when any line was malformed or any
  *                         request did not produce a routable result
  *                         (default: exit 0 whenever every request got
@@ -86,6 +92,13 @@ struct CliOptions
     int retries = 0;
     int breakerThreshold = 0;
     bool strict = false;
+    /** Level-1 engine override for every request ("" = per-request
+     *  solver= keys / default). */
+    std::string solver;
+    /** Force replication on every request. */
+    bool replicate = false;
+    /** Coarsening-target override (0 = per-request / default). */
+    int coarseLimit = 0;
 };
 
 [[noreturn]] void
@@ -96,7 +109,9 @@ usage()
         "usage: tapacs-batch MANIFEST [--threads N] [--repeat N] "
         "[--warm-start] [--no-cache] [--cache-dir DIR] "
         "[--deadline-ms N] [--max-queue N] [--block-on-full] "
-        "[--retries N] [--breaker-threshold N] [--strict]\n");
+        "[--retries N] [--breaker-threshold N] [--strict] "
+        "[--solver exact|multilevel] [--replicate] "
+        "[--coarse-limit N]\n");
     std::exit(2);
 }
 
@@ -133,7 +148,22 @@ parseArgs(int argc, char **argv)
             opt.breakerThreshold = std::atoi(next().c_str());
         else if (arg == "--strict")
             opt.strict = true;
-        else if (arg == "--help" || arg == "-h")
+        else if (arg == "--solver") {
+            opt.solver = next();
+            if (opt.solver != "exact" && opt.solver != "multilevel") {
+                std::fprintf(stderr,
+                             "--solver must be exact|multilevel\n");
+                std::exit(2);
+            }
+        } else if (arg == "--replicate")
+            opt.replicate = true;
+        else if (arg == "--coarse-limit") {
+            opt.coarseLimit = std::atoi(next().c_str());
+            if (opt.coarseLimit < 2) {
+                std::fprintf(stderr, "--coarse-limit must be >= 2\n");
+                std::exit(2);
+            }
+        } else if (arg == "--help" || arg == "-h")
             usage();
         else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
@@ -178,8 +208,7 @@ main(int argc, char **argv)
     }
     std::ostringstream body;
     body << in.rdbuf();
-    const serve::ParsedManifest manifest =
-        serve::parseManifest(body.str());
+    serve::ParsedManifest manifest = serve::parseManifest(body.str());
     for (const serve::ManifestDiagnostic &d : manifest.diagnostics)
         std::fprintf(stderr, "%s:%d: %s\n", opt.manifest.c_str(),
                      d.line, d.message.c_str());
@@ -217,6 +246,18 @@ main(int argc, char **argv)
     sopt.breakerThreshold = opt.breakerThreshold;
     sopt.warmStart = opt.warmStart;
     sopt.cache = cc;
+
+    // CLI-level solver overrides apply to every manifest request.
+    for (serve::Request &req : manifest.requests) {
+        if (opt.solver == "exact")
+            req.solver = L1Backend::Exact;
+        else if (opt.solver == "multilevel")
+            req.solver = L1Backend::Multilevel;
+        if (opt.replicate)
+            req.replicate = true;
+        if (opt.coarseLimit > 0)
+            req.coarseLimit = opt.coarseLimit;
+    }
 
     // One flat execution list: per-request repeats x the global
     // multiplier, in manifest order.

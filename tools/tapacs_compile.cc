@@ -19,6 +19,14 @@
  *     --simulate         run the dataflow simulator and report latency
  *     --timeline FILE    write the firing timeline CSV (implies
  *                        --simulate)
+ *     --solver S         level-1 engine: exact | multilevel
+ *     --replicate        plan logic replication in the level-1 solve
+ *     --coarse-limit N   level-1 coarsening target (default 36)
+ *     --partition-only   stop after level-1 floorplanning and report
+ *                        the partition (cost, cut, per-device load);
+ *                        the scale path — cluster-scale graphs
+ *                        partition in seconds while the full
+ *                        placement flow is hours
  */
 
 #include <cstdio>
@@ -31,6 +39,7 @@
 #include "compiler/compiler.hh"
 #include "compiler/constraints.hh"
 #include "graph/serialize.hh"
+#include "partition/multilevel.hh"
 #include "sim/dataflow_sim.hh"
 
 using namespace tapacs;
@@ -49,6 +58,10 @@ struct CliOptions
     std::string outDir = ".";
     bool simulate = false;
     std::string timelineFile;
+    L1Backend solver = L1Backend::Exact;
+    bool replicate = false;
+    int coarseLimit = 0;
+    bool partitionOnly = false;
 };
 
 [[noreturn]] void
@@ -58,7 +71,9 @@ usage()
                  "usage: tapacs-compile GRAPH_FILE [--fpgas N] "
                  "[--mode vitis|tapa|tapacs] [--topology T] "
                  "[--device U55C|U250|U280] [--threshold X] "
-                 "[--out DIR] [--simulate] [--timeline FILE]\n");
+                 "[--out DIR] [--simulate] [--timeline FILE] "
+                 "[--solver exact|multilevel] [--replicate] "
+                 "[--coarse-limit N] [--partition-only]\n");
     std::exit(2);
 }
 
@@ -120,6 +135,22 @@ parseArgs(int argc, char **argv)
         else if (arg == "--timeline") {
             opt.timelineFile = next();
             opt.simulate = true;
+        } else if (arg == "--solver") {
+            const std::string name = next();
+            if (name == "exact")
+                opt.solver = L1Backend::Exact;
+            else if (name == "multilevel")
+                opt.solver = L1Backend::Multilevel;
+            else
+                fatal("unknown solver '%s'", name.c_str());
+        } else if (arg == "--replicate") {
+            opt.replicate = true;
+        } else if (arg == "--partition-only") {
+            opt.partitionOnly = true;
+        } else if (arg == "--coarse-limit") {
+            opt.coarseLimit = std::atoi(next().c_str());
+            if (opt.coarseLimit < 2)
+                fatal("--coarse-limit must be >= 2");
         } else if (arg == "--help" || arg == "-h") {
             usage();
         } else if (!arg.empty() && arg[0] == '-') {
@@ -172,11 +203,54 @@ main(int argc, char **argv)
 
     Cluster cluster(makeDeviceByName(opt.device),
                     Topology(opt.topology, opt.fpgas));
+
+    if (opt.partitionOnly) {
+        InterFpgaOptions io;
+        io.backend = opt.solver;
+        io.replicate = opt.replicate;
+        if (opt.coarseLimit > 0)
+            io.coarseLimit = opt.coarseLimit;
+        io.threshold = opt.threshold;
+        io.channelsPerDevice = cluster.device().memory().channels;
+        const InterFpgaResult r = partition::solveL1(g, cluster, io);
+        if (!r.feasible) {
+            std::fprintf(stderr, "partitioning failed: %s\n",
+                         r.status.message().c_str());
+            return 1;
+        }
+        std::printf("solver:    %s (%d level%s, coarse %d)\n",
+                    toString(io.backend), r.levels,
+                    r.levels == 1 ? "" : "s", r.coarseVertices);
+        std::printf("L1 time:   %.3fs\n", r.elapsedSeconds);
+        std::printf("cost:      %.0f (eq. 2)\n", r.cost);
+        std::printf("cut:       %s, %.0f bits of FIFO width\n",
+                    formatBytes(r.cutTrafficBytes).c_str(),
+                    interFpgaCutWidthBits(g, r.partition));
+        if (opt.replicate) {
+            std::printf("replicas:  %d\n",
+                        r.replication.totalReplicas());
+        }
+        const std::vector<ResourceVector> areas =
+            perDeviceArea(g, cluster, r.partition);
+        for (DeviceId d = 0; d < cluster.numDevices(); ++d) {
+            std::printf("  device %d: %.1f%% LUT\n", d,
+                        areas[d].utilization(
+                            ResourceKind::Lut,
+                            cluster.device().totalResources()) *
+                            100.0);
+        }
+        return 0;
+    }
+
     CompileOptions copt;
     copt.mode = opt.mode;
     copt.numFpgas = opt.fpgas;
     copt.topology = opt.topology;
     copt.threshold = opt.threshold;
+    copt.inter.backend = opt.solver;
+    copt.inter.replicate = opt.replicate;
+    if (opt.coarseLimit > 0)
+        copt.inter.coarseLimit = opt.coarseLimit;
 
     const CompileResult result = compile(g, cluster, copt);
     if (!result.routable) {
@@ -193,22 +267,33 @@ main(int argc, char **argv)
                 result.l2Seconds);
     std::printf("cut:       %s across devices\n",
                 formatBytes(result.cutTrafficBytes).c_str());
+    if (result.replicated()) {
+        std::printf("replicas:  %d task cop%s added by logic "
+                    "replication\n",
+                    result.replication.totalReplicas(),
+                    result.replication.totalReplicas() == 1 ? "y"
+                                                            : "ies");
+    }
 
+    // Every emitted artifact describes the design as it will be
+    // built: the replication-expanded graph when phase 3 produced
+    // one, the input graph otherwise.
+    const TaskGraph &dg = result.replicated() ? result.expandedGraph : g;
     for (DeviceId d = 0; d < cluster.numDevices(); ++d) {
         const std::string path =
             strprintf("%s/constraints_dev%d.tcl", opt.outDir.c_str(), d);
-        writeFile(path, emitConstraintsTcl(g, cluster, result, d));
+        writeFile(path, emitConstraintsTcl(dg, cluster, result, d));
         std::printf("wrote %s\n", path.c_str());
     }
     const std::string manifest_path = opt.outDir + "/cluster.manifest";
-    writeFile(manifest_path, emitClusterManifest(g, cluster, result));
+    writeFile(manifest_path, emitClusterManifest(dg, cluster, result));
     std::printf("wrote %s\n", manifest_path.c_str());
 
     if (opt.simulate) {
         sim::SimOptions sopt;
         sopt.recordTimeline = !opt.timelineFile.empty();
         const sim::SimResult run =
-            sim::simulate(g, cluster, result.partition, result.binding,
+            sim::simulate(dg, cluster, result.partition, result.binding,
                           result.pipeline, result.deviceFmax, sopt);
         std::printf("simulated latency: %s\n",
                     formatSeconds(run.makespan).c_str());
@@ -217,7 +302,7 @@ main(int argc, char **argv)
                         run.deviceUtilization(d) * 100.0);
         }
         if (!opt.timelineFile.empty()) {
-            writeFile(opt.timelineFile, sim::timelineCsv(g, run));
+            writeFile(opt.timelineFile, sim::timelineCsv(dg, run));
             std::printf("wrote %s\n", opt.timelineFile.c_str());
         }
     }

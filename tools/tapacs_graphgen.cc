@@ -9,12 +9,20 @@
  *
  * Usage:
  *   tapacs-graphgen APP [options] > design.tg
- *     APP               stencil | pagerank | knn | cnn
+ *     APP               stencil | pagerank | knn | cnn | synth
  *     --fpgas N         scale the design for N devices (default 1)
  *     --iters I         stencil iterations (default 64)
  *     --dataset NAME    pagerank network (default cit-Patents)
  *     --n N --d D       knn dataset size / dimension
  *     --vitis           cnn: emit the 13x4 Vitis-baseline grid
+ *     --modules N       synth: module count (default 5000)
+ *     --seed S          synth: RNG seed (default 1)
+ *     --alpha A         synth: fanout power-law exponent
+ *     --area-mean X     synth: mean module area in LUTs
+ *
+ * The synth app stamps areas directly (no HLS pass) — it exists to
+ * feed the multilevel partitioner graphs far beyond the four paper
+ * workloads (up to ~50k modules).
  */
 
 #include <cstdio>
@@ -25,6 +33,7 @@
 #include "apps/knn.hh"
 #include "apps/pagerank.hh"
 #include "apps/stencil.hh"
+#include "apps/synth.hh"
 #include "common/logging.hh"
 #include "graph/serialize.hh"
 #include "hls/synthesis.hh"
@@ -38,9 +47,10 @@ namespace
 usage()
 {
     std::fprintf(stderr,
-                 "usage: tapacs-graphgen stencil|pagerank|knn|cnn "
+                 "usage: tapacs-graphgen stencil|pagerank|knn|cnn|synth "
                  "[--fpgas N] [--iters I] [--dataset NAME] [--n N] "
-                 "[--d D] [--vitis]\n");
+                 "[--d D] [--vitis] [--modules N] [--seed S] "
+                 "[--alpha A] [--area-mean X]\n");
     std::exit(2);
 }
 
@@ -57,6 +67,9 @@ main(int argc, char **argv)
     std::int64_t n = 4'000'000;
     std::string dataset = "cit-Patents";
     bool vitis = false;
+    int modules = 5000;
+    unsigned long long seed = 1;
+    double alpha = 0.0, area_mean = 0.0;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next = [&]() -> std::string {
@@ -76,6 +89,14 @@ main(int argc, char **argv)
             d = std::atoi(next().c_str());
         else if (arg == "--vitis")
             vitis = true;
+        else if (arg == "--modules")
+            modules = std::atoi(next().c_str());
+        else if (arg == "--seed")
+            seed = std::strtoull(next().c_str(), nullptr, 10);
+        else if (arg == "--alpha")
+            alpha = std::atof(next().c_str());
+        else if (arg == "--area-mean")
+            area_mean = std::atof(next().c_str());
         else
             usage();
     }
@@ -90,13 +111,23 @@ main(int argc, char **argv)
         app = apps::buildKnn(apps::KnnConfig::scaled(n, d, fpgas));
     } else if (app_name == "cnn") {
         app = apps::buildCnn(apps::CnnConfig::scaled(fpgas, vitis));
+    } else if (app_name == "synth") {
+        apps::SynthConfig cfg = apps::SynthConfig::scaled(modules, seed);
+        if (alpha > 0.0)
+            cfg.fanoutAlpha = alpha;
+        if (area_mean > 0.0)
+            cfg.areaMeanLut = area_mean;
+        app = apps::buildSynthetic(cfg);
     } else {
         usage();
     }
 
-    // Step 2: synthesize so the emitted file carries real areas.
-    hls::ProgramSynthesis synth = hls::synthesizeAll(app.tasks);
-    hls::applySynthesis(app.graph, synth);
+    // Step 2: synthesize so the emitted file carries real areas
+    // (synth graphs come pre-stamped — no task IRs to estimate).
+    if (!app.tasks.empty()) {
+        hls::ProgramSynthesis synth = hls::synthesizeAll(app.tasks);
+        hls::applySynthesis(app.graph, synth);
+    }
     app.graph.validate();
 
     std::fputs(serializeTaskGraph(app.graph).c_str(), stdout);
